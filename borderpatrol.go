@@ -1,0 +1,390 @@
+// Package borderpatrol is a faithful Go reproduction of "BORDERPATROL:
+// Securing BYOD using fine-grained contextual information" (Zungur,
+// Suarez-Tangil, Stringhini, Egele — DSN 2019).
+//
+// BorderPatrol tags every packet leaving a BYOD-provisioned Android device
+// with a compressed representation of the Java call stack that created the
+// socket, carried in the IPv4 IP_OPTIONS header field. An on-network
+// Policy Enforcer decodes the tag against a signature database produced by
+// an Offline Analyzer and enforces fine-grained rules — per app function,
+// not per IP or per app — before a Packet Sanitizer strips the tag from
+// conforming traffic at the corporate border.
+//
+// This package is the public facade over the full system. A Deployment
+// wires together the simulated provisioned device (patched kernel,
+// Xposed-style hooks, Context Manager), the enterprise gateway (enforcer +
+// sanitizer on netfilter queues), and a virtual-time network:
+//
+//	dep, err := borderpatrol.NewDeployment(borderpatrol.DeploymentConfig{
+//		Policy: `{[deny][library]["com/flurry"]}`,
+//	})
+//	...
+//	app, err := dep.InstallApp(apk, functionality)
+//	verdicts, err := dep.Exercise(app, "analytics")
+//
+// The reproduction harnesses for every table and figure in the paper's
+// evaluation live behind RunFig3, RunValidation, RunCloudCaseStudy,
+// RunFacebookCaseStudy, RunFig4, RunFlowSize and RunReplay.
+package borderpatrol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/android"
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/audit"
+	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/netsim"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
+)
+
+// Re-exported core types. The aliases give external importers access to
+// the full policy grammar, app model and experiment results without
+// reaching into internal packages.
+type (
+	// Rule is one policy rule {[action][level][target]}.
+	Rule = policy.Rule
+	// Action is a rule action (Allow or Deny).
+	Action = policy.Action
+	// Level is an enforcement level (Hash < Library < Class < Method).
+	Level = policy.Level
+	// Verdict is a policy decision for one packet.
+	Verdict = policy.Verdict
+	// APK is a simulated Android application package.
+	APK = dex.APK
+	// DexFile is one classes.dex within an APK.
+	DexFile = dex.File
+	// ClassDef is a class definition inside a dex file.
+	ClassDef = dex.ClassDef
+	// MethodDef is a method definition with debug line info.
+	MethodDef = dex.MethodDef
+	// Signature is a smali-style method signature.
+	Signature = dex.Signature
+	// Frame is one Java stack-trace frame.
+	Frame = dex.Frame
+	// Functionality is one user-reachable app behaviour.
+	Functionality = android.Functionality
+	// NetOp is the network side effect of a functionality.
+	NetOp = android.NetOp
+	// App is an installed application on the provisioned device.
+	App = android.App
+	// Packet is an IPv4 packet.
+	Packet = ipv4.Packet
+	// GeneratedApp is a synthetic corpus entry.
+	GeneratedApp = apkgen.App
+	// CorpusConfig controls corpus generation.
+	CorpusConfig = apkgen.Config
+)
+
+// Policy grammar constants.
+const (
+	Allow = policy.Allow
+	Deny  = policy.Deny
+
+	LevelHash    = policy.LevelHash
+	LevelLibrary = policy.LevelLibrary
+	LevelClass   = policy.LevelClass
+	LevelMethod  = policy.LevelMethod
+
+	VerdictAllow = policy.VerdictAllow
+	VerdictDrop  = policy.VerdictDrop
+)
+
+// ParsePolicy parses a policy document in the paper's grammar (§IV-B).
+func ParsePolicy(doc string) ([]Rule, error) {
+	return policy.ParsePolicyString(doc)
+}
+
+// FormatPolicy renders rules back into a parseable document.
+func FormatPolicy(rules []Rule) string {
+	return policy.FormatPolicy(rules)
+}
+
+// GenerateCorpus builds the synthetic Play-store corpus (§VI-A stand-in).
+func GenerateCorpus(cfg CorpusConfig) ([]*GeneratedApp, error) {
+	return apkgen.Generate(cfg)
+}
+
+// DefaultCorpusConfig is the calibrated 2,000-app configuration.
+func DefaultCorpusConfig() CorpusConfig {
+	return apkgen.DefaultConfig()
+}
+
+// DeploymentConfig assembles a BorderPatrol deployment.
+type DeploymentConfig struct {
+	// Policy is a policy document in the paper's grammar; empty means no
+	// rules (engine default decides everything).
+	Policy string
+	// DefaultVerdict applies when no rule is decisive; zero value means
+	// VerdictAllow.
+	DefaultVerdict Verdict
+	// AllowUntagged admits packets without a BorderPatrol tag (default
+	// false: the paper drops them inside the perimeter).
+	AllowUntagged bool
+	// HardenedKernel enables the set-once IP_OPTIONS protection against
+	// tag replay (§VII). Defaults to true.
+	HardenedKernel *bool
+	// DeviceAddr overrides the device network address.
+	DeviceAddr netip.Addr
+	// AuditWriter receives one JSON line per enforcement decision (nil
+	// disables file output; the in-memory audit tail is always kept).
+	AuditWriter io.Writer
+}
+
+// Deployment is a running BorderPatrol installation: one provisioned
+// device, the signature database, and the enterprise gateway + network.
+type Deployment struct {
+	device    *android.Device
+	manager   *contextmgr.Manager
+	db        *analyzer.Database
+	engine    *policy.Engine
+	enforcer  *enforcer.Enforcer
+	sanitizer *sanitizer.Sanitizer
+	network   *netsim.Network
+	audit     *audit.Log
+}
+
+// Route selects how packets reach the network (paper §VII): on-premises
+// through the gateway, off-premises work traffic over VPN, personal
+// traffic over the mobile network.
+type Route = netsim.Route
+
+// Routes.
+const (
+	RouteDirect = netsim.RouteDirect
+	RouteVPN    = netsim.RouteVPN
+	RouteMobile = netsim.RouteMobile
+)
+
+// AuditEntry is one enforcement decision record.
+type AuditEntry = audit.Entry
+
+// NewDeployment provisions a device with the Context Manager, builds the
+// policy engine, and stands up the gateway pipeline.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	var rules []Rule
+	if strings.TrimSpace(cfg.Policy) != "" {
+		var err error
+		rules, err = policy.ParsePolicyString(cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("borderpatrol: %w", err)
+		}
+	}
+	def := cfg.DefaultVerdict
+	if def == 0 {
+		def = policy.VerdictAllow
+	}
+	engine, err := policy.NewEngine(rules, def)
+	if err != nil {
+		return nil, fmt.Errorf("borderpatrol: %w", err)
+	}
+
+	hardened := true
+	if cfg.HardenedKernel != nil {
+		hardened = *cfg.HardenedKernel
+	}
+	addr := cfg.DeviceAddr
+	if !addr.IsValid() {
+		addr = netip.MustParseAddr("10.66.0.2")
+	}
+	device := android.NewDevice(android.Config{
+		Addr: addr,
+		Kernel: kernel.Config{
+			AllowUnprivilegedIPOptions: true,
+			SetOptionsOncePerSocket:    hardened,
+		},
+		XposedInstalled: true,
+	})
+	manager := contextmgr.New(device)
+	if err := device.LoadModule(manager); err != nil {
+		return nil, fmt.Errorf("borderpatrol: %w", err)
+	}
+
+	db := analyzer.NewDatabase()
+	enf := enforcer.New(enforcer.Config{AllowUntagged: cfg.AllowUntagged}, db, engine)
+	san := sanitizer.New(sanitizer.Config{})
+	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
+	network.Gateway = netsim.NewGateway(netsim.GatewayConfig{Enforcer: enf, Sanitizer: san})
+
+	return &Deployment{
+		device:    device,
+		manager:   manager,
+		db:        db,
+		engine:    engine,
+		enforcer:  enf,
+		sanitizer: san,
+		network:   network,
+		audit:     audit.New(cfg.AuditWriter, 256),
+	}, nil
+}
+
+// InstallApp analyzes the apk into the signature database (the Offline
+// Analyzer step) and installs it in the device's work profile. Servers for
+// every functionality endpoint are registered automatically.
+func (d *Deployment) InstallApp(apk *APK, funcs []Functionality) (*App, error) {
+	if err := d.db.Add(apk); err != nil {
+		if !errors.Is(err, analyzer.ErrDuplicateEntry) {
+			return nil, fmt.Errorf("borderpatrol: analyze: %w", err)
+		}
+	}
+	app, err := d.device.InstallApp(apk, funcs, android.ProfileWork)
+	if err != nil {
+		return nil, fmt.Errorf("borderpatrol: %w", err)
+	}
+	for _, f := range funcs {
+		addr := f.Op.Endpoint.Addr()
+		if _, ok := d.network.ServerAt(addr); !ok {
+			d.network.AddServer(&netsim.Server{
+				Addr:    addr,
+				Name:    f.Op.Host,
+				Handler: httpsim.StaticHandler(httpsim.StaticPage()),
+			})
+		}
+	}
+	return app, nil
+}
+
+// InstallGenerated installs a corpus-generated app.
+func (d *Deployment) InstallGenerated(ga *GeneratedApp) (*App, error) {
+	return d.InstallApp(ga.APK, ga.Functionalities)
+}
+
+// SetPolicy replaces the active rules (central reconfiguration, §IV).
+func (d *Deployment) SetPolicy(doc string) error {
+	rules, err := policy.ParsePolicyString(doc)
+	if err != nil {
+		return fmt.Errorf("borderpatrol: %w", err)
+	}
+	return d.engine.SetRules(rules)
+}
+
+// Outcome reports what happened to one packet an app functionality sent.
+type Outcome struct {
+	// Delivered reports whether the packet reached its destination.
+	Delivered bool
+	// DropStage names where it died ("gateway", "border-router", ...).
+	DropStage string
+	// Stack is the decoded context when the enforcer inspected the packet.
+	Stack []Signature
+	// Reason is the policy engine's explanation, when it ran.
+	Reason string
+}
+
+// Exercise invokes an app functionality end to end — device, tagging,
+// gateway, border — and returns one Outcome per emitted packet.
+func (d *Deployment) Exercise(app *App, functionality string) ([]Outcome, error) {
+	return d.ExerciseVia(app, functionality, RouteDirect)
+}
+
+// ExerciseVia is Exercise over an explicit route: RouteDirect for
+// on-premises traffic, RouteVPN for off-premises work traffic tunnelled to
+// the gateway, RouteMobile for traffic bypassing the corporate network.
+func (d *Deployment) ExerciseVia(app *App, functionality string, route Route) ([]Outcome, error) {
+	res, err := app.Invoke(functionality)
+	if err != nil {
+		return nil, fmt.Errorf("borderpatrol: %w", err)
+	}
+	out := make([]Outcome, 0, len(res.Packets))
+	for _, pkt := range res.Packets {
+		del := d.network.DeliverRoute(pkt, route)
+		o := Outcome{Delivered: del.Delivered}
+		if !del.Delivered {
+			o.DropStage = del.Stage.String()
+		}
+		if del.Enforcement != nil {
+			o.Stack = del.Enforcement.Stack
+			if del.Enforcement.Decision != nil {
+				o.Reason = del.Enforcement.Decision.Reason
+			} else {
+				o.Reason = del.Enforcement.Cause.String()
+			}
+			d.audit.Record(pkt, *del.Enforcement)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// AuditTail returns the most recent enforcement audit entries.
+func (d *Deployment) AuditTail() []AuditEntry {
+	return d.audit.Tail()
+}
+
+// Device exposes the provisioned device (advanced scenarios and tests).
+func (d *Deployment) Device() *android.Device { return d.device }
+
+// DeploymentStats aggregates component counters.
+type DeploymentStats struct {
+	SocketsTagged    uint64
+	TagFailures      uint64
+	PacketsProcessed uint64
+	PacketsAccepted  uint64
+	PacketsDropped   uint64
+	PacketsCleansed  uint64
+}
+
+// Stats snapshots counters across the Context Manager, Policy Enforcer and
+// Packet Sanitizer.
+func (d *Deployment) Stats() DeploymentStats {
+	cm := d.manager.Stats()
+	ef := d.enforcer.Stats()
+	sn := d.sanitizer.Stats()
+	return DeploymentStats{
+		SocketsTagged:    cm.SocketsTagged,
+		TagFailures:      cm.TagFailures,
+		PacketsProcessed: ef.Processed,
+		PacketsAccepted:  ef.Accepted,
+		PacketsDropped:   ef.Dropped,
+		PacketsCleansed:  sn.Cleansed,
+	}
+}
+
+// Experiment entry points (one per paper table/figure). See EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+var (
+	// RunFig3 reproduces Figure 3 (IoI histogram) and the §VI-B stats.
+	RunFig3 = experiments.RunFig3
+	// RunValidation reproduces the §VI-B1 tracker-blocking validation.
+	RunValidation = experiments.RunValidation
+	// RunCloudCaseStudy reproduces the §VI-C Dropbox/Box comparison.
+	RunCloudCaseStudy = experiments.RunCloudCaseStudy
+	// RunFacebookCaseStudy reproduces the §VI-C SolCalendar comparison.
+	RunFacebookCaseStudy = experiments.RunFacebookCaseStudy
+	// RunFig4 reproduces the Figure 4 latency series.
+	RunFig4 = experiments.RunFig4
+	// RunKeepAliveAmortization reproduces the §VI-D amortization argument.
+	RunKeepAliveAmortization = experiments.RunKeepAliveAmortization
+	// RunFlowSize reproduces the §VII flow-size and evasion analysis.
+	RunFlowSize = experiments.RunFlowSize
+	// RunReplay reproduces the §VII tag-replay mitigation.
+	RunReplay = experiments.RunReplay
+)
+
+// Experiment configuration re-exports.
+type (
+	// Fig3Config parameterizes the corpus experiment.
+	Fig3Config = experiments.Fig3Config
+	// ValidationConfig parameterizes the validation experiment.
+	ValidationConfig = experiments.ValidationConfig
+	// Fig4Options sizes the latency stress test.
+	Fig4Options = experiments.Fig4Options
+)
+
+// Default experiment configurations.
+var (
+	DefaultFig3Config       = experiments.DefaultFig3Config
+	DefaultValidationConfig = experiments.DefaultValidationConfig
+	DefaultFig4Options      = experiments.DefaultFig4Options
+)

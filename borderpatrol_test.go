@@ -1,0 +1,233 @@
+package borderpatrol
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func demoAPK() *APK {
+	return &APK{
+		PackageName: "com.corp.files",
+		Label:       "CorpFiles",
+		Category:    "BUSINESS",
+		VersionCode: 1,
+		Dexes: []*DexFile{{
+			Classes: []ClassDef{
+				{
+					Package: "com/corp/files",
+					Name:    "SyncEngine",
+					Methods: []MethodDef{
+						{Name: "download", Proto: "()V", File: "S.java", StartLine: 10, EndLine: 30},
+						{Name: "upload", Proto: "()V", File: "S.java", StartLine: 40, EndLine: 60},
+					},
+				},
+				{
+					Package: "com/flurry/sdk",
+					Name:    "Agent",
+					Methods: []MethodDef{
+						{Name: "beacon", Proto: "()V", File: "A.java", StartLine: 5, EndLine: 20},
+					},
+				},
+			},
+		}},
+	}
+}
+
+func demoFuncs() []Functionality {
+	ep := netip.AddrPortFrom(netip.MustParseAddr("93.184.216.34"), 443)
+	return []Functionality{
+		{
+			Name:      "download",
+			Desirable: true,
+			CallPath:  []Frame{{Class: "com/corp/files/SyncEngine", Method: "download", File: "S.java", Line: 12}},
+			Op:        NetOp{Endpoint: ep, Host: "files.corp", Method: "GET"},
+		},
+		{
+			Name:     "upload",
+			CallPath: []Frame{{Class: "com/corp/files/SyncEngine", Method: "upload", File: "S.java", Line: 45}},
+			Op:       NetOp{Endpoint: ep, Host: "files.corp", Method: "PUT", PayloadBytes: 1024},
+		},
+		{
+			Name:     "analytics",
+			CallPath: []Frame{{Class: "com/flurry/sdk/Agent", Method: "beacon", File: "A.java", Line: 8}},
+			Op:       NetOp{Endpoint: ep, Host: "data.flurry.com", Method: "POST", PayloadBytes: 128},
+		},
+	}
+}
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{
+		Policy: `
+// block the tracker library and the upload method
+{[deny][library]["com/flurry"]}
+{[deny][method]["Lcom/corp/files/SyncEngine;->upload()V"]}
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Download flows.
+	out, err := dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Delivered {
+		t.Fatalf("download outcome = %+v", out)
+	}
+	if len(out[0].Stack) == 0 || out[0].Stack[0].Name != "download" {
+		t.Fatalf("decoded stack = %v", out[0].Stack)
+	}
+
+	// Upload dropped by the method rule — same endpoint, same app.
+	out, err = dep.Exercise(app, "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("upload not blocked")
+	}
+	if out[0].DropStage != "gateway" {
+		t.Fatalf("drop stage = %s", out[0].DropStage)
+	}
+	if !strings.Contains(out[0].Reason, "deny rule") {
+		t.Fatalf("reason = %q", out[0].Reason)
+	}
+
+	// Analytics dropped by the library rule.
+	out, err = dep.Exercise(app, "analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("analytics not blocked")
+	}
+
+	st := dep.Stats()
+	if st.SocketsTagged != 3 || st.PacketsDropped != 2 || st.PacketsAccepted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PacketsCleansed != 1 {
+		t.Fatalf("sanitizer cleansed %d packets, want 1 (the delivered one)", st.PacketsCleansed)
+	}
+}
+
+func TestDeploymentReconfiguration(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dep.Exercise(app, "analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Delivered {
+		t.Fatal("empty policy must allow")
+	}
+	if err := dep.SetPolicy(`{[deny][library]["com/flurry"]}`); err != nil {
+		t.Fatal(err)
+	}
+	out, err = dep.Exercise(app, "analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("reconfigured policy not applied")
+	}
+}
+
+func TestDeploymentErrors(t *testing.T) {
+	if _, err := NewDeployment(DeploymentConfig{Policy: "{[bogus]}"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	dep, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.SetPolicy("{[bogus]}"); err == nil {
+		t.Fatal("bad policy accepted by SetPolicy")
+	}
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Exercise(app, "nope"); err == nil {
+		t.Fatal("unknown functionality accepted")
+	}
+}
+
+func TestParseFormatPolicyRoundTrip(t *testing.T) {
+	doc := `{[deny][library]["com/flurry"]}
+{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}`
+	rules, err := ParsePolicy(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Action != Deny || rules[1].Level != LevelHash {
+		t.Fatalf("rules = %+v", rules)
+	}
+	again, err := ParsePolicy(FormatPolicy(rules))
+	if err != nil || len(again) != 2 {
+		t.Fatalf("round trip: %v %v", again, err)
+	}
+}
+
+func TestGenerateCorpusFacade(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.Apps = 10
+	corpus, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 10 {
+		t.Fatalf("corpus = %d", len(corpus))
+	}
+	dep, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dep.InstallGenerated(corpus[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dep.Exercise(app, "core-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !out[0].Delivered {
+		t.Fatalf("corpus app core-sync failed: %+v", out)
+	}
+}
+
+func TestUntaggedDefaultDrop(t *testing.T) {
+	// An app using native sockets bypasses tagging; the gateway drops it.
+	dep, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := demoFuncs()
+	funcs[0].Op.UseNativeSocket = true
+	app, err := dep.InstallApp(demoAPK(), funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("untagged native-socket packet escaped")
+	}
+	if !strings.Contains(out[0].Reason, "untagged") {
+		t.Fatalf("reason = %q", out[0].Reason)
+	}
+}

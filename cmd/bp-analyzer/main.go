@@ -1,0 +1,145 @@
+// Command bp-analyzer is the Offline Analyzer CLI (paper §V-A): it
+// processes apps, extracts each app's method signatures into a
+// deterministic index mapping, and writes the JSON signature database the
+// Policy Enforcer decodes packets against.
+//
+// Apps come from either a generated corpus (the reproduction's default) or
+// apk container files on disk (the file-based workflow of the paper's
+// dexlib2 pipeline):
+//
+//	bp-analyzer -apps 2000 -seed 2019 -out bp-db.json
+//	bp-analyzer -apps 50 -export-apks ./apks        # write .apk containers
+//	bp-analyzer -in ./apks -out bp-db.json           # analyze from disk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/dex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bp-analyzer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	apps := flag.Int("apps", 2000, "number of corpus apps to analyze/export")
+	seed := flag.Int64("seed", 2019, "corpus generator seed")
+	out := flag.String("out", "bp-db.json", "output database path ('-' for stdout)")
+	in := flag.String("in", "", "directory of .apk container files to analyze instead of generating")
+	exportDir := flag.String("export-apks", "", "write the generated corpus as .apk container files to this directory and exit")
+	flag.Parse()
+
+	var apks []*dex.APK
+	if *in != "" {
+		loaded, err := loadAPKDir(*in)
+		if err != nil {
+			return err
+		}
+		apks = loaded
+	} else {
+		cfg := apkgen.DefaultConfig()
+		cfg.Apps = *apps
+		cfg.Seed = *seed
+		corpus, err := apkgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		for _, ga := range corpus {
+			apks = append(apks, ga.APK)
+		}
+	}
+
+	if *exportDir != "" {
+		return exportAPKs(apks, *exportDir)
+	}
+
+	db := analyzer.NewDatabase()
+	methods := 0
+	for _, apk := range apks {
+		if err := db.Add(apk); err != nil {
+			return fmt.Errorf("analyze %s: %w", apk.PackageName, err)
+		}
+		methods += len(apk.Signatures())
+	}
+
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := db.Save(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "analyzed %d apps (%d method signatures) -> %s\n", db.Len(), methods, *out)
+	return nil
+}
+
+func exportAPKs(apks []*dex.APK, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, apk := range apks {
+		path := filepath.Join(dir, apk.PackageName+".apk")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := apk.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("export %s: %w", apk.PackageName, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "exported %d apk containers to %s\n", len(apks), dir)
+	return nil
+}
+
+func loadAPKDir(dir string) ([]*dex.APK, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".apk") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .apk containers in %s", dir)
+	}
+	apks := make([]*dex.APK, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		apk, err := dex.ReadAPK(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", name, err)
+		}
+		apks = append(apks, apk)
+	}
+	return apks, nil
+}

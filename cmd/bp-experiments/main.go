@@ -1,0 +1,166 @@
+// Command bp-experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). The default
+// scales are reduced so a full run finishes in seconds; pass -paper-scale
+// for the published workload sizes (2,000 apps, 5,000 monkey events,
+// 10,000×25 stress iterations).
+//
+// Usage:
+//
+//	bp-experiments -run all
+//	bp-experiments -run fig3 -paper-scale
+//	bp-experiments -run fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|all")
+	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
+	seed := flag.Int64("seed", 2019, "corpus seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	all := want["all"]
+
+	// Shared corpus for the corpus-driven experiments.
+	var corpus []*apkgen.App
+	needCorpus := all || want["fig3"] || want["validation"] || want["flowsize"]
+	if needCorpus {
+		cfg := apkgen.DefaultConfig()
+		cfg.Seed = *seed
+		if !*paperScale {
+			cfg.Apps = 400
+		}
+		var err error
+		corpus, err = apkgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generated %d-app corpus (seed %d)\n", len(corpus), *seed)
+	}
+
+	section := func(title string) {
+		fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+
+	if all || want["fig3"] {
+		section("E1/E2 — Figure 3: IPs-of-interest")
+		events := 2000
+		if *paperScale {
+			events = 5000
+		}
+		res, err := experiments.RunFig3(experiments.Fig3Config{
+			Corpus:       corpus,
+			MonkeyEvents: events,
+			MonkeySeed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["validation"] {
+		section("E3 — Validation: tracker deny-list (§VI-B1)")
+		cfg := experiments.ValidationConfig{Corpus: corpus, SampleSize: 60, TopLibraries: 60}
+		if !*paperScale {
+			cfg.SampleSize = 30
+			cfg.TopLibraries = 30
+		}
+		res, err := experiments.RunValidation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["cloud"] {
+		section("E4 — Case study: cloud storage (§VI-C)")
+		res, err := experiments.RunCloudCaseStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["facebook"] {
+		section("E5 — Case study: Facebook SDK (§VI-C)")
+		res, err := experiments.RunFacebookCaseStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["fig4"] {
+		section("E6 — Figure 4: per-request latency")
+		opts := experiments.Fig4Options{Iterations: 1000, Runs: 3}
+		if *paperScale {
+			opts = experiments.DefaultFig4Options()
+		}
+		res, err := experiments.RunFig4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["keepalive"] {
+		section("E7 — Keep-alive amortization (§VI-D)")
+		iters := 200
+		if *paperScale {
+			iters = 2000
+		}
+		points, err := experiments.RunKeepAliveAmortization([]int{1, 2, 5, 10, 50, 100}, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatKeepAlive(points))
+	}
+
+	if all || want["flowsize"] {
+		section("E8 — Flow sizes & threshold evasion (§VII)")
+		res, err := experiments.RunFlowSize(corpus, 4096)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["replay"] {
+		section("E9 — Tag replay mitigation (§VII)")
+		res, err := experiments.RunReplay()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["whitelist"] {
+		section("E11 — Whitelisting posture & repackaged apps (§VII)")
+		res, err := experiments.RunWhitelist()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Fbauth reproduces the paper's §VI-C Facebook-SDK case study: the
+// SolCalendar-like app uses the Facebook Graph API both for "Login with
+// Facebook" (desirable) and analytics reporting (undesirable), over the
+// same endpoint. Blocking the endpoint on the network breaks login;
+// BorderPatrol's stack-based rules drop only the analytics flows.
+//
+// Run with: go run ./examples/fbauth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"borderpatrol"
+)
+
+func main() {
+	res, err := borderpatrol.RunFacebookCaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Println()
+	if res.Precise() {
+		fmt.Println("RESULT: \"Login with Facebook\" preserved, analytics dropped —")
+		fmt.Println("exactly the separation the IP blocklist cannot express.")
+	} else {
+		fmt.Println("RESULT: precision lost — see the table above.")
+	}
+}

@@ -1,0 +1,63 @@
+package borderpatrol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExerciseViaRoutes(t *testing.T) {
+	var auditBuf bytes.Buffer
+	dep, err := NewDeployment(DeploymentConfig{
+		Policy:      `{[deny][library]["com/flurry"]}`,
+		AuditWriter: &auditBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Off-premises work traffic over VPN is still enforced.
+	out, err := dep.ExerciseVia(app, "analytics", RouteVPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("vpn-routed analytics escaped enforcement")
+	}
+	out, err = dep.ExerciseVia(app, "download", RouteVPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Delivered {
+		t.Fatal("vpn-routed download blocked")
+	}
+
+	// Mobile-routed tagged traffic dies at the carrier border (options
+	// survive because no sanitizer ran).
+	out, err = dep.ExerciseVia(app, "download", RouteMobile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Delivered {
+		t.Fatal("tagged mobile traffic crossed an RFC 7126 border")
+	}
+	if out[0].DropStage != "border-router" {
+		t.Fatalf("drop stage = %s", out[0].DropStage)
+	}
+
+	// The audit log captured the enforced (gateway) decisions.
+	tail := dep.AuditTail()
+	if len(tail) != 2 {
+		t.Fatalf("audit tail has %d entries, want 2 (vpn analytics + vpn download)", len(tail))
+	}
+	if tail[0].Verdict != "drop" || !strings.Contains(tail[0].Rule, "com/flurry") {
+		t.Fatalf("audit entry = %+v", tail[0])
+	}
+	if !strings.Contains(auditBuf.String(), `"verdict":"drop"`) {
+		t.Fatal("audit writer did not receive JSON lines")
+	}
+}

@@ -1,0 +1,273 @@
+// Package analyzer implements BorderPatrol's Offline Analyzer (paper
+// §IV-A1, §V-A): it processes every app the enterprise manages, extracts
+// method signatures from the app's dex files, orders them
+// deterministically, assigns sequential indexes, and stores the mapping in
+// a JSON database keyed by the apk's MD5 hash. The Context Manager (on
+// device) and the Policy Enforcer (on network) both derive their mappings
+// from the same apk bytes, so encode and decode stay in coherence without
+// any runtime coordination.
+package analyzer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"borderpatrol/internal/dex"
+)
+
+// AppEntry is one app's record in the signature database.
+type AppEntry struct {
+	// Hash is the full MD5 of the apk, in hex (the primary key).
+	Hash string `json:"hash"`
+	// PackageName is the Android application id, for operator readability.
+	PackageName string `json:"package_name"`
+	// VersionCode distinguishes entries for different versions of an app.
+	VersionCode int `json:"version_code"`
+	// MultiDex records whether indexes need the wide (3-byte) encoding.
+	MultiDex bool `json:"multi_dex"`
+	// DebugStripped records whether the apk lacked debug line tables.
+	DebugStripped bool `json:"debug_stripped"`
+	// Signatures is the ordered signature list; a method's index is its
+	// position in this slice.
+	Signatures []string `json:"signatures"`
+}
+
+// Database maps truncated and full apk hashes to signature tables. It is
+// safe for concurrent use; the Policy Enforcer reads it on every packet
+// while new apps are provisioned.
+type Database struct {
+	mu sync.RWMutex
+	// byFull maps full 32-hex MD5 to entry.
+	byFull map[string]*entry
+	// byTruncated maps the 8-byte packet identifier to the full hash.
+	// Collisions (paper §VII "Hash collision") are detected at insert.
+	byTruncated map[dex.TruncatedHash]string
+}
+
+type entry struct {
+	meta AppEntry
+	sigs []dex.Signature
+	// index maps canonical signature string to index for reverse lookups.
+	index map[string]uint32
+}
+
+// Errors returned by database operations.
+var (
+	ErrUnknownApp     = errors.New("analyzer: unknown app hash")
+	ErrUnknownIndex   = errors.New("analyzer: method index out of range")
+	ErrHashCollision  = errors.New("analyzer: truncated hash collision")
+	ErrUnknownMethod  = errors.New("analyzer: method signature not in app")
+	ErrDuplicateEntry = errors.New("analyzer: app already in database")
+)
+
+// NewDatabase returns an empty signature database.
+func NewDatabase() *Database {
+	return &Database{
+		byFull:      make(map[string]*entry),
+		byTruncated: make(map[dex.TruncatedHash]string),
+	}
+}
+
+// AnalyzeAPK extracts the deterministic signature table for one apk,
+// exactly as the Java/dexlib2 Offline Analyzer does: validate the package,
+// pull method signatures per dex in canonical order, concatenate across dex
+// files.
+func AnalyzeAPK(apk *dex.APK) (AppEntry, error) {
+	if err := apk.Validate(); err != nil {
+		return AppEntry{}, fmt.Errorf("analyzer: %w", err)
+	}
+	sigs := apk.Signatures()
+	out := AppEntry{
+		Hash:          apk.HashHex(),
+		PackageName:   apk.PackageName,
+		VersionCode:   apk.VersionCode,
+		MultiDex:      apk.MultiDex(),
+		DebugStripped: apk.DebugStripped(),
+		Signatures:    make([]string, len(sigs)),
+	}
+	for i, s := range sigs {
+		out.Signatures[i] = s.String()
+	}
+	return out, nil
+}
+
+// Add analyzes an apk and inserts its entry. Adding the same apk twice is
+// an error; adding a different apk whose truncated hash collides with an
+// existing entry returns ErrHashCollision (the probability is < 1e-6 at
+// Play-store scale, but the enforcer must not mis-attribute packets).
+func (db *Database) Add(apk *dex.APK) error {
+	ae, err := AnalyzeAPK(apk)
+	if err != nil {
+		return err
+	}
+	return db.AddEntry(ae)
+}
+
+// AddEntry inserts a pre-built entry (used when loading a JSON database).
+func (db *Database) AddEntry(ae AppEntry) error {
+	e := &entry{
+		meta:  ae,
+		sigs:  make([]dex.Signature, len(ae.Signatures)),
+		index: make(map[string]uint32, len(ae.Signatures)),
+	}
+	for i, raw := range ae.Signatures {
+		sig, err := dex.ParseSignature(raw)
+		if err != nil {
+			return fmt.Errorf("analyzer: entry %s signature %d: %w", ae.Hash, i, err)
+		}
+		e.sigs[i] = sig
+		e.index[raw] = uint32(i)
+	}
+	if len(ae.Hash) != 2*dex.HashSize {
+		return fmt.Errorf("analyzer: entry hash %q has %d hex digits, want %d", ae.Hash, len(ae.Hash), 2*dex.HashSize)
+	}
+	trunc, err := dex.ParseTruncatedHash(ae.Hash[:2*dex.TruncatedHashSize])
+	if err != nil {
+		return fmt.Errorf("analyzer: entry hash %q: %w", ae.Hash, err)
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byFull[ae.Hash]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateEntry, ae.Hash)
+	}
+	if existing, clash := db.byTruncated[trunc]; clash && existing != ae.Hash {
+		return fmt.Errorf("%w: %s vs %s", ErrHashCollision, existing, ae.Hash)
+	}
+	db.byFull[ae.Hash] = e
+	db.byTruncated[trunc] = ae.Hash
+	return nil
+}
+
+// Len returns the number of apps in the database.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byFull)
+}
+
+// LookupTruncated resolves a packet's 8-byte app identifier to the app's
+// database entry.
+func (db *Database) LookupTruncated(t dex.TruncatedHash) (AppEntry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	full, ok := db.byTruncated[t]
+	if !ok {
+		return AppEntry{}, false
+	}
+	return db.byFull[full].meta, true
+}
+
+// Decode maps one method index of an app (identified by truncated hash)
+// back to its signature — the enforcer's per-frame decoding step.
+func (db *Database) Decode(t dex.TruncatedHash, index uint32) (dex.Signature, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	full, ok := db.byTruncated[t]
+	if !ok {
+		return dex.Signature{}, fmt.Errorf("%w: %s", ErrUnknownApp, t)
+	}
+	e := db.byFull[full]
+	if int(index) >= len(e.sigs) {
+		return dex.Signature{}, fmt.Errorf("%w: %d >= %d for app %s", ErrUnknownIndex, index, len(e.sigs), t)
+	}
+	return e.sigs[index], nil
+}
+
+// DecodeStack decodes a full index sequence into the stack trace of method
+// signatures, preserving order (paper §IV-A3 decoding stage).
+func (db *Database) DecodeStack(t dex.TruncatedHash, indexes []uint32) ([]dex.Signature, error) {
+	out := make([]dex.Signature, len(indexes))
+	for i, idx := range indexes {
+		sig, err := db.Decode(t, idx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+// Encode maps a signature to its index for an app — the Context Manager's
+// encoding step uses the identical table, so Encode(Decode(i)) == i.
+func (db *Database) Encode(t dex.TruncatedHash, sig dex.Signature) (uint32, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	full, ok := db.byTruncated[t]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownApp, t)
+	}
+	e := db.byFull[full]
+	idx, ok := e.index[sig.String()]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownMethod, sig)
+	}
+	return idx, nil
+}
+
+// Hashes returns the full hashes of all apps, sorted, for deterministic
+// serialization.
+func (db *Database) Hashes() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byFull))
+	for h := range db.byFull {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jsonDB is the serialized database document: the paper ships the mapping
+// as JSON "for its ease of use and portability" (§V-A).
+type jsonDB struct {
+	Version int        `json:"version"`
+	Apps    []AppEntry `json:"apps"`
+}
+
+// Save writes the database as JSON.
+func (db *Database) Save(w io.Writer) error {
+	doc := jsonDB{Version: 1}
+	db.mu.RLock()
+	doc.Apps = make([]AppEntry, 0, len(db.byFull))
+	for _, h := range func() []string {
+		hs := make([]string, 0, len(db.byFull))
+		for k := range db.byFull {
+			hs = append(hs, k)
+		}
+		sort.Strings(hs)
+		return hs
+	}() {
+		doc.Apps = append(doc.Apps, db.byFull[h].meta)
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("analyzer: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON database document.
+func Load(r io.Reader) (*Database, error) {
+	var doc jsonDB
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("analyzer: load: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("analyzer: unsupported database version %d", doc.Version)
+	}
+	db := NewDatabase()
+	for _, ae := range doc.Apps {
+		if err := db.AddEntry(ae); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,88 @@
+package analyzer
+
+import (
+	"fmt"
+	"testing"
+
+	"borderpatrol/internal/dex"
+)
+
+// buildBenchAPK creates an apk with roughly n method signatures.
+func buildBenchAPK(n int) *dex.APK {
+	perClass := 32
+	classes := make([]dex.ClassDef, 0, n/perClass+1)
+	made := 0
+	for made < n {
+		methods := make([]dex.MethodDef, 0, perClass)
+		for j := 0; j < perClass && made < n; j++ {
+			methods = append(methods, dex.MethodDef{
+				Name: fmt.Sprintf("m%04d", j), Proto: "()V",
+				File: "C.java", StartLine: j * 4, EndLine: j*4 + 3,
+			})
+			made++
+		}
+		classes = append(classes, dex.ClassDef{
+			Package: fmt.Sprintf("com/bench/p%03d", len(classes)),
+			Name:    fmt.Sprintf("C%03d", len(classes)),
+			Methods: methods,
+		})
+	}
+	return &dex.APK{
+		PackageName: fmt.Sprintf("com.bench.app%d", n),
+		VersionCode: 1,
+		Dexes:       []*dex.File{{Classes: classes}},
+	}
+}
+
+// Provisioning-time cost: analyzing one apk into the database.
+func benchmarkAnalyze(b *testing.B, methods int) {
+	b.Helper()
+	apk := buildBenchAPK(methods)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apk.Invalidate()
+		if _, err := AnalyzeAPK(apk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeAPK1kMethods(b *testing.B)  { benchmarkAnalyze(b, 1000) }
+func BenchmarkAnalyzeAPK10kMethods(b *testing.B) { benchmarkAnalyze(b, 10000) }
+
+// Enforcement-path cost: per-packet stack decoding against the database.
+func BenchmarkDecodeStack(b *testing.B) {
+	apk := buildBenchAPK(5000)
+	db := NewDatabase()
+	if err := db.Add(apk); err != nil {
+		b.Fatal(err)
+	}
+	tr := apk.Truncated()
+	indexes := []uint32{12, 871, 2400, 4999}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.DecodeStack(tr, indexes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Context-Manager-path cost: signature → index lookup.
+func BenchmarkEncodeLookup(b *testing.B) {
+	apk := buildBenchAPK(5000)
+	db := NewDatabase()
+	if err := db.Add(apk); err != nil {
+		b.Fatal(err)
+	}
+	tr := apk.Truncated()
+	sig := apk.Signatures()[2400]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Encode(tr, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

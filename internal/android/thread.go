@@ -1,0 +1,71 @@
+package android
+
+import (
+	"sync"
+
+	"borderpatrol/internal/dex"
+)
+
+// Thread emulates a Java thread's call stack. App functionality execution
+// pushes frames as methods "call" each other; getStackTrace snapshots them
+// in Java order (innermost frame first), which is exactly what the Context
+// Manager consumes (paper Fig. 2).
+type Thread struct {
+	mu     sync.Mutex
+	frames []dex.Frame
+}
+
+// NewThread returns an empty thread.
+func NewThread() *Thread { return &Thread{} }
+
+// Push enters a method call.
+func (t *Thread) Push(f dex.Frame) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frames = append(t.frames, f)
+}
+
+// PushAll enters a sequence of calls outermost-first.
+func (t *Thread) PushAll(fs []dex.Frame) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frames = append(t.frames, fs...)
+}
+
+// Pop returns from the innermost call.
+func (t *Thread) Pop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.frames) > 0 {
+		t.frames = t.frames[:len(t.frames)-1]
+	}
+}
+
+// PopN returns from the innermost n calls.
+func (t *Thread) PopN(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > len(t.frames) {
+		n = len(t.frames)
+	}
+	t.frames = t.frames[:len(t.frames)-n]
+}
+
+// Depth returns the current stack depth.
+func (t *Thread) Depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.frames)
+}
+
+// GetStackTrace mirrors java.lang.Thread#getStackTrace: a snapshot of the
+// active frames, most-recent (innermost) first.
+func (t *Thread) GetStackTrace() []dex.Frame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]dex.Frame, len(t.frames))
+	for i, f := range t.frames {
+		out[len(t.frames)-1-i] = f
+	}
+	return out
+}

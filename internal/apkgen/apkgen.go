@@ -1,0 +1,380 @@
+// Package apkgen generates the synthetic app corpus standing in for the
+// PlayDrone dataset the paper evaluates on (§VI-A): 2,000 apps from the
+// BUSINESS and PRODUCTIVITY categories, each an amalgamation of
+// developer-authored code and third-party libraries (trackers, ad networks,
+// social SDKs, shared HTTP clients), with functionality graphs that produce
+// realistic stack traces ending in socket creation.
+//
+// The generator is seeded and calibrated so the structural properties the
+// evaluation measures re-emerge: the share of apps with IPs-of-interest
+// (multiple distinct stack traces to one destination, Fig. 3), the 75%/25%
+// split between same-package and cross-package IoIs (§VI-B), and tracker
+// library prevalence for the validation study (§VI-B1).
+package apkgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"borderpatrol/internal/android"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/trackers"
+)
+
+// FuncMeta records generator-side truth about one functionality, used by
+// experiments to score enforcement precision.
+type FuncMeta struct {
+	// LibraryPkg is the third-party package behind the functionality ("" for
+	// developer code).
+	LibraryPkg string
+	// Category classifies tracker-origin functionality.
+	Category trackers.Category
+	// IsTracker marks functionality that originates in a deny-listed library.
+	IsTracker bool
+	// VisibleWhenBlocked marks functionality whose absence a human notices
+	// (ads stop rendering); analytics blocking is invisible.
+	VisibleWhenBlocked bool
+}
+
+// App is one generated corpus entry.
+type App struct {
+	APK             *dex.APK
+	Functionalities []android.Functionality
+	// Meta maps functionality name to generator truth.
+	Meta map[string]FuncMeta
+	// Libraries lists included third-party package prefixes.
+	Libraries []string
+	// PlannedIoIs is how many IPs-of-interest the generator wired in.
+	PlannedIoIs int
+	// CrossPackageIoIs counts planned IoIs whose stacks span packages.
+	CrossPackageIoIs int
+	// FlowSizes are representative single-flow transfer sizes in bytes for
+	// the §VII flow-size analysis (metadata only; not all are sent).
+	FlowSizes []int64
+}
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed makes the corpus deterministic.
+	Seed int64
+	// Apps is the corpus size (the paper uses 2,000).
+	Apps int
+	// Categories cycle across generated apps.
+	Categories []string
+	// IoIProb[k] is the probability an app is wired with k+1 IoIs; the
+	// remainder get none. Defaults reproduce Fig. 3's histogram shape.
+	IoIProb []float64
+	// CrossPackageShare is the fraction of IoIs built on a shared HTTP
+	// client spanning packages (the paper observes 25%).
+	CrossPackageShare float64
+	// TrackersPerApp is the mean number of deny-listed libraries bundled
+	// per app.
+	TrackersPerApp float64
+}
+
+// DefaultConfig returns the calibrated 2,000-app configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:       2019, // DSN'19
+		Apps:       2000,
+		Categories: []string{"BUSINESS", "PRODUCTIVITY"},
+		// Calibrated to Fig. 3: 152/53/8/3/2 apps with 1..5 IoIs of 2,000.
+		IoIProb:           []float64{0.0760, 0.0265, 0.0040, 0.0015, 0.0010},
+		CrossPackageShare: 0.25,
+		TrackersPerApp:    2.2,
+	}
+}
+
+// Shared benign libraries apps may bundle.
+const (
+	apacheHTTPPkg  = "org/apache/http/client"
+	okhttpPkg      = "com/squareup/okhttp"
+	facebookSDKPkg = "com/facebook/sdk"
+	dropboxSDKPkg  = "com/dropbox/client"
+)
+
+// Endpoint address plan (TEST-NET and benchmark blocks, deterministic):
+//
+//	trackers:   203.0.113.0/24 by library rank (shared across apps)
+//	app server: 198.18.x.y by app index
+//	IoI:        198.19.x.y by app index and IoI ordinal
+func trackerEndpoint(rank int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{203, 0, 113, byte(rank % 250)}), 443)
+}
+
+func appServerEndpoint(appIdx int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 18, byte(appIdx / 250), byte(appIdx % 250)}), 443)
+}
+
+func ioiEndpoint(appIdx, ord int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{198, 19, byte((appIdx*5 + ord) / 250), byte((appIdx*5 + ord) % 250)}), 443)
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) ([]*App, error) {
+	if cfg.Apps <= 0 {
+		return nil, fmt.Errorf("apkgen: invalid corpus size %d", cfg.Apps)
+	}
+	if len(cfg.Categories) == 0 {
+		cfg.Categories = []string{"BUSINESS"}
+	}
+	if cfg.CrossPackageShare < 0 || cfg.CrossPackageShare > 1 {
+		return nil, fmt.Errorf("apkgen: cross-package share %f out of range", cfg.CrossPackageShare)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	catalog := trackers.Catalog()
+	out := make([]*App, 0, cfg.Apps)
+	for i := 0; i < cfg.Apps; i++ {
+		app, err := generateApp(r, cfg, catalog, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+func generateApp(r *rand.Rand, cfg Config, catalog []trackers.Library, idx int) (*App, error) {
+	category := cfg.Categories[idx%len(cfg.Categories)]
+	pkgName := fmt.Sprintf("com.vendor%03d.app%04d", idx%97, idx)
+	devPkg := fmt.Sprintf("com/vendor%03d/app%04d", idx%97, idx)
+
+	ga := &App{
+		Meta: make(map[string]FuncMeta),
+	}
+
+	// Developer classes.
+	main := newClassBuilder(devPkg, "MainActivity")
+	main.addMethod("onCreate", "(Landroid/os/Bundle;)V")
+	main.addMethod("onClick", "(Landroid/view/View;)V")
+	netMgr := newClassBuilder(devPkg, "NetManager")
+	netMgr.addMethod("sync", "()V")
+	netMgr.addMethod("fetch", "(Ljava/lang/String;)V")
+	netMgr.addMethod("push", "([B)V")
+	classes := []dex.ClassDef{}
+	libs := []string{}
+
+	// Core app functionality: sync with the app's own server.
+	appEP := appServerEndpoint(idx)
+	ga.Functionalities = append(ga.Functionalities, android.Functionality{
+		Name:      "core-sync",
+		Desirable: true,
+		CallPath: []dex.Frame{
+			main.frameFor("onClick", "(Landroid/view/View;)V"),
+			netMgr.frameFor("sync", "()V"),
+		},
+		Op:     android.NetOp{Endpoint: appEP, Host: pkgName, Method: "GET", Path: "/sync", PayloadBytes: 64},
+		Weight: 3,
+	})
+	ga.Meta["core-sync"] = FuncMeta{}
+
+	// Bundle tracker libraries (Zipf-ish by catalog popularity).
+	nTrackers := poissonish(r, cfg.TrackersPerApp)
+	seen := map[string]bool{}
+	for t := 0; t < nTrackers; t++ {
+		rank := zipfRank(r, len(catalog))
+		lib := catalog[rank]
+		if seen[lib.Package] {
+			continue
+		}
+		seen[lib.Package] = true
+		tmpl := buildLibrary(lib.Package, r)
+		classes = append(classes, tmpl.classDefs()...)
+		libs = append(libs, lib.Package)
+		name := fmt.Sprintf("tracker-%02d", t)
+		ga.Functionalities = append(ga.Functionalities, android.Functionality{
+			Name:      name,
+			Desirable: false,
+			CallPath: append([]dex.Frame{
+				main.frameFor("onCreate", "(Landroid/os/Bundle;)V"),
+			}, tmpl.entry...),
+			Op: android.NetOp{
+				Endpoint:     trackerEndpoint(rank),
+				Host:         libHost(lib.Package),
+				Method:       "POST",
+				Path:         "/beacon",
+				PayloadBytes: 128 + r.Intn(512),
+			},
+			Weight: 2,
+		})
+		ga.Meta[name] = FuncMeta{
+			LibraryPkg:         lib.Package,
+			Category:           lib.Category,
+			IsTracker:          true,
+			VisibleWhenBlocked: lib.Category == trackers.Advertising,
+		}
+	}
+
+	// Wire planned IPs-of-interest. Whether an app's IoIs span Java
+	// packages is an app-level trait (it owns a shared HTTP client reused
+	// by several components, or it does not): drawing it per app rather
+	// than per IoI reproduces both of the paper's statistics at once —
+	// 75% of IoI apps have single-package stacks AND 25% of IoIs receive
+	// cross-package traffic.
+	nIoI := drawIoIs(r, cfg.IoIProb)
+	ga.PlannedIoIs = nIoI
+	crossApp := r.Float64() < cfg.CrossPackageShare
+	var sharedHTTP *libraryTemplate
+	for k := 0; k < nIoI; k++ {
+		ep := ioiEndpoint(idx, k)
+		cross := crossApp
+		if cross {
+			ga.CrossPackageIoIs++
+			if sharedHTTP == nil {
+				sharedHTTP = buildLibrary(apacheHTTPPkg, r)
+				classes = append(classes, sharedHTTP.classDefs()...)
+				libs = append(libs, apacheHTTPPkg)
+			}
+			// Two components in different packages reuse the shared client.
+			social := buildLibrary(fmt.Sprintf("%s%d", facebookSDKPkg, k), r)
+			classes = append(classes, social.classDefs()...)
+			libs = append(libs, social.pkg)
+			a := fmt.Sprintf("ioi%d-dev", k)
+			b := fmt.Sprintf("ioi%d-lib", k)
+			ga.Functionalities = append(ga.Functionalities,
+				android.Functionality{
+					Name:      a,
+					Desirable: true,
+					CallPath: append([]dex.Frame{
+						main.frameFor("onClick", "(Landroid/view/View;)V"),
+						netMgr.frameFor("fetch", "(Ljava/lang/String;)V"),
+					}, sharedHTTP.entry...),
+					Op:     android.NetOp{Endpoint: ep, Host: "api.shared", Method: "GET", Path: "/v1/data"},
+					Weight: 4,
+				},
+				android.Functionality{
+					Name:      b,
+					Desirable: false,
+					CallPath: append(append([]dex.Frame{
+						main.frameFor("onCreate", "(Landroid/os/Bundle;)V"),
+					}, social.entry...), sharedHTTP.entry...),
+					Op:     android.NetOp{Endpoint: ep, Host: "api.shared", Method: "POST", Path: "/v1/events", PayloadBytes: 256},
+					Weight: 4,
+				},
+			)
+			ga.Meta[a] = FuncMeta{}
+			ga.Meta[b] = FuncMeta{LibraryPkg: social.pkg, Category: trackers.SocialSDK, IsTracker: false}
+		} else {
+			// Same-package IoI: e.g. upload vs download in the app's own
+			// package, or auth vs analytics inside one SDK.
+			a := fmt.Sprintf("ioi%d-down", k)
+			b := fmt.Sprintf("ioi%d-up", k)
+			ga.Functionalities = append(ga.Functionalities,
+				android.Functionality{
+					Name:      a,
+					Desirable: true,
+					CallPath: []dex.Frame{
+						main.frameFor("onClick", "(Landroid/view/View;)V"),
+						netMgr.frameFor("fetch", "(Ljava/lang/String;)V"),
+					},
+					Op:     android.NetOp{Endpoint: ep, Host: "cloud.app", Method: "GET", Path: "/files"},
+					Weight: 4,
+				},
+				android.Functionality{
+					Name:      b,
+					Desirable: false,
+					CallPath: []dex.Frame{
+						main.frameFor("onClick", "(Landroid/view/View;)V"),
+						netMgr.frameFor("push", "([B)V"),
+					},
+					Op:     android.NetOp{Endpoint: ep, Host: "cloud.app", Method: "PUT", Path: "/files", PayloadBytes: 1024},
+					Weight: 4,
+				},
+			)
+			ga.Meta[a] = FuncMeta{}
+			ga.Meta[b] = FuncMeta{}
+		}
+	}
+
+	// Representative single-flow sizes: 36 B .. 480 MB, log-uniform (§VII).
+	nFlows := 3 + r.Intn(5)
+	ga.FlowSizes = make([]int64, nFlows)
+	for f := range ga.FlowSizes {
+		ga.FlowSizes[f] = logUniformSize(r, 36, 480*1024*1024)
+	}
+
+	classes = append(classes, main.build(), netMgr.build())
+	ga.APK = &dex.APK{
+		PackageName: pkgName,
+		Label:       fmt.Sprintf("App %04d", idx),
+		Category:    category,
+		VersionCode: 1 + r.Intn(40),
+		Downloads:   int64(1000 + r.Intn(100_000_000)),
+		Dexes:       []*dex.File{{Classes: classes}},
+	}
+	ga.Libraries = libs
+	if err := ga.APK.Validate(); err != nil {
+		return nil, fmt.Errorf("apkgen: app %d invalid: %w", idx, err)
+	}
+	return ga, nil
+}
+
+func libHost(pkg string) string {
+	// "com/flurry" -> "data.flurry.com"-style host.
+	host := "data"
+	for i := len(pkg) - 1; i >= 0; i-- {
+		if pkg[i] == '/' {
+			host = "data." + pkg[i+1:]
+			break
+		}
+	}
+	return host
+}
+
+// drawIoIs samples the planned IoI count from the calibrated distribution.
+func drawIoIs(r *rand.Rand, probs []float64) int {
+	x := r.Float64()
+	acc := 0.0
+	for k, p := range probs {
+		acc += p
+		if x < acc {
+			return k + 1
+		}
+	}
+	return 0
+}
+
+// poissonish draws a small non-negative count with the given mean.
+func poissonish(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's method is fine for small means.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 20 {
+			return k
+		}
+	}
+}
+
+// zipfRank draws a catalog rank with probability ∝ 1/(rank+1).
+func zipfRank(r *rand.Rand, n int) int {
+	// Inverse-CDF on the harmonic distribution, approximated.
+	hn := math.Log(float64(n)) + 0.5772
+	x := r.Float64() * hn
+	rank := int(math.Exp(x)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}
+
+// logUniformSize draws a size log-uniformly between lo and hi.
+func logUniformSize(r *rand.Rand, lo, hi int64) int64 {
+	llo := math.Log(float64(lo))
+	lhi := math.Log(float64(hi))
+	return int64(math.Exp(llo + r.Float64()*(lhi-llo)))
+}

@@ -1,0 +1,231 @@
+package apkgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"borderpatrol/internal/dex"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Apps = 100
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].APK.HashHex() != b[i].APK.HashHex() {
+			t.Fatalf("app %d hashes differ across runs", i)
+		}
+		if a[i].PlannedIoIs != b[i].PlannedIoIs {
+			t.Fatalf("app %d IoI plans differ", i)
+		}
+	}
+}
+
+func TestGeneratedAppsValid(t *testing.T) {
+	apps, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenPkg := map[string]bool{}
+	for _, ga := range apps {
+		if err := ga.APK.Validate(); err != nil {
+			t.Fatalf("app %s invalid: %v", ga.APK.PackageName, err)
+		}
+		if seenPkg[ga.APK.PackageName] {
+			t.Fatalf("duplicate package %s", ga.APK.PackageName)
+		}
+		seenPkg[ga.APK.PackageName] = true
+		if len(ga.Functionalities) == 0 {
+			t.Fatalf("app %s has no functionality", ga.APK.PackageName)
+		}
+	}
+}
+
+func TestCallPathsResolveAgainstDex(t *testing.T) {
+	// Every frame the generator emits must resolve through the app's own
+	// line table — otherwise the Context Manager would silently drop app
+	// frames and experiments would undercount context.
+	apps, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ga := range apps {
+		lt := dex.NewLineTable(ga.APK)
+		for _, f := range ga.Functionalities {
+			for _, frame := range f.CallPath {
+				if _, ok := lt.Resolve(frame); !ok {
+					t.Fatalf("app %s func %s frame %v does not resolve", ga.APK.PackageName, f.Name, frame)
+				}
+			}
+		}
+	}
+}
+
+func TestIoIWiring(t *testing.T) {
+	apps, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ga := range apps {
+		// Planned IoIs materialize as paired functionality on one endpoint.
+		byEndpoint := map[string][]string{}
+		for _, f := range ga.Functionalities {
+			byEndpoint[f.Op.Endpoint.String()] = append(byEndpoint[f.Op.Endpoint.String()], f.Name)
+		}
+		pairs := 0
+		for _, names := range byEndpoint {
+			if len(names) >= 2 {
+				pairs++
+			}
+		}
+		if pairs != ga.PlannedIoIs {
+			t.Fatalf("app %s: %d endpoint pairs, planned %d", ga.APK.PackageName, pairs, ga.PlannedIoIs)
+		}
+		if ga.CrossPackageIoIs > ga.PlannedIoIs {
+			t.Fatalf("cross-package count exceeds planned")
+		}
+	}
+}
+
+func TestIoIDistributionShape(t *testing.T) {
+	// With the calibrated probabilities, roughly 11% of apps get >= 1 IoI
+	// and 1-IoI apps dominate. Use a larger sample for stability.
+	cfg := DefaultConfig()
+	cfg.Apps = 2000
+	apps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[int]int{}
+	for _, ga := range apps {
+		hist[ga.PlannedIoIs]++
+	}
+	withIoI := cfg.Apps - hist[0]
+	if withIoI < 150 || withIoI > 290 {
+		t.Fatalf("apps with IoI = %d, expected ~218", withIoI)
+	}
+	if !(hist[1] > hist[2] && hist[2] > hist[3]) {
+		t.Fatalf("histogram not monotone: %v", hist)
+	}
+}
+
+func TestTrackerMetadataConsistent(t *testing.T) {
+	apps, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTracker := false
+	for _, ga := range apps {
+		for _, f := range ga.Functionalities {
+			meta, ok := ga.Meta[f.Name]
+			if !ok {
+				t.Fatalf("app %s func %s missing metadata", ga.APK.PackageName, f.Name)
+			}
+			if meta.IsTracker {
+				foundTracker = true
+				if meta.LibraryPkg == "" {
+					t.Fatalf("tracker func %s missing library", f.Name)
+				}
+				if f.Desirable {
+					t.Fatalf("tracker func %s marked desirable", f.Name)
+				}
+			}
+		}
+	}
+	if !foundTracker {
+		t.Fatal("corpus contains no tracker functionality at all")
+	}
+}
+
+func TestFlowSizesSpanPaperRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Apps = 500
+	apps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minSize, maxSize int64 = 1 << 62, 0
+	for _, ga := range apps {
+		for _, s := range ga.FlowSizes {
+			if s < minSize {
+				minSize = s
+			}
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+	}
+	// Paper §VII: legitimate single flows range 36 B to 480 MB.
+	if minSize < 36 {
+		t.Fatalf("flow size %d below 36 B", minSize)
+	}
+	if maxSize > 480*1024*1024 {
+		t.Fatalf("flow size %d above 480 MB", maxSize)
+	}
+	// The distribution must actually span orders of magnitude.
+	if minSize > 10_000 || maxSize < 1_000_000 {
+		t.Fatalf("flow sizes too narrow: [%d, %d]", minSize, maxSize)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Apps: 0}); err == nil {
+		t.Error("zero apps accepted")
+	}
+	bad := DefaultConfig()
+	bad.Apps = 1
+	bad.CrossPackageShare = 2
+	if _, err := Generate(bad); err == nil {
+		t.Error("bad cross-package share accepted")
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		rank := zipfRank(r, 1050)
+		if rank < 0 || rank >= 1050 {
+			t.Fatalf("rank %d out of bounds", rank)
+		}
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := logUniformSize(r, 36, 480*1024*1024)
+		if v < 36 || v > 480*1024*1024 {
+			t.Fatalf("size %d out of bounds", v)
+		}
+	}
+}
+
+func TestPoissonishMean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poissonish(r, 2.2)
+	}
+	mean := float64(sum) / n
+	if mean < 1.9 || mean > 2.5 {
+		t.Fatalf("mean %f, want ~2.2", mean)
+	}
+	if poissonish(r, 0) != 0 {
+		t.Fatal("zero mean must give zero")
+	}
+}

@@ -1,0 +1,118 @@
+package apkgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"borderpatrol/internal/dex"
+)
+
+// classBuilder accumulates one dex class and can mint stack frames that
+// reference its methods consistently (class path, file, and a line inside
+// the method's debug range), so generated call paths always resolve against
+// the generated dex.
+type classBuilder struct {
+	pkg     string
+	name    string
+	file    string
+	methods []dex.MethodDef
+	// byName maps method name to its index in methods.
+	byName map[string]int
+	line   int
+}
+
+func newClassBuilder(pkg, name string) *classBuilder {
+	return &classBuilder{
+		pkg:    pkg,
+		name:   name,
+		file:   name + ".java",
+		byName: make(map[string]int),
+		line:   10,
+	}
+}
+
+// addMethod defines a method and returns its name for later frameFor calls.
+func (cb *classBuilder) addMethod(name, proto string) string {
+	span := 30
+	cb.methods = append(cb.methods, dex.MethodDef{
+		Name:      name,
+		Proto:     proto,
+		File:      cb.file,
+		StartLine: cb.line,
+		EndLine:   cb.line + span,
+	})
+	cb.byName[name+proto] = len(cb.methods) - 1
+	cb.line += span + 10
+	return name
+}
+
+// frameFor returns a stack frame inside the named method (first overload
+// with that exact name+proto).
+func (cb *classBuilder) frameFor(name, proto string) dex.Frame {
+	idx, ok := cb.byName[name+proto]
+	if !ok {
+		panic(fmt.Sprintf("apkgen: frameFor(%s%s) on class %s/%s: method not defined", name, proto, cb.pkg, cb.name))
+	}
+	m := cb.methods[idx]
+	return dex.Frame{
+		Class:  cb.pkg + "/" + cb.name,
+		Method: m.Name,
+		File:   m.File,
+		Line:   m.StartLine + 3,
+	}
+}
+
+func (cb *classBuilder) build() dex.ClassDef {
+	return dex.ClassDef{
+		Package: cb.pkg,
+		Name:    cb.name,
+		Super:   "java/lang/Object",
+		Methods: append([]dex.MethodDef(nil), cb.methods...),
+	}
+}
+
+// libraryTemplate synthesizes the classes a third-party library contributes
+// to an app's dex, plus canonical frames for its network entry points.
+type libraryTemplate struct {
+	pkg     string
+	classes []*classBuilder
+	// entry frames for the library's "send" path, outermost first.
+	entry []dex.Frame
+}
+
+// buildLibrary creates a small deterministic class set for a library
+// package: a manager class and a network class whose send method is the
+// innermost library frame.
+func buildLibrary(pkg string, r *rand.Rand) *libraryTemplate {
+	mgr := newClassBuilder(pkg, "Manager")
+	mgr.addMethod("init", "()V")
+	mgr.addMethod("dispatch", "(Ljava/lang/String;)V")
+	net := newClassBuilder(pkg, "NetClient")
+	net.addMethod("open", "()V")
+	net.addMethod("send", "([B)V")
+	net.addMethod("send", "(Ljava/lang/String;)V") // overload, exercises line tables
+	// A few filler classes so libraries differ in size.
+	fillers := make([]*classBuilder, r.Intn(3))
+	for i := range fillers {
+		f := newClassBuilder(pkg, fmt.Sprintf("Util%c", 'A'+i))
+		f.addMethod("helper", "()V")
+		fillers[i] = f
+	}
+	lt := &libraryTemplate{
+		pkg:     pkg,
+		classes: append([]*classBuilder{mgr, net}, fillers...),
+	}
+	lt.entry = []dex.Frame{
+		mgr.frameFor("dispatch", "(Ljava/lang/String;)V"),
+		net.frameFor("send", "([B)V"),
+	}
+	return lt
+}
+
+func (lt *libraryTemplate) classDefs() []dex.ClassDef {
+	out := make([]dex.ClassDef, len(lt.classes))
+	for i, cb := range lt.classes {
+		out[i] = cb.build()
+	}
+	return out
+}

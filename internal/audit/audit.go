@@ -1,0 +1,156 @@
+// Package audit provides the enforcement audit trail for BorderPatrol
+// gateways. The paper's centralized-management argument (§VII "Ease of
+// use": administrators configure and update all policies in one spot)
+// implies operators need to see what the enforcer decided and why; this
+// package records one structured entry per packet decision as JSON lines,
+// suitable for log shipping, and keeps bounded in-memory tail for
+// interactive inspection.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+)
+
+// Entry is one enforcement decision record.
+type Entry struct {
+	// Seq is a monotonically increasing record number.
+	Seq uint64 `json:"seq"`
+	// Src and Dst identify the flow.
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// App is the truncated apk hash in hex ("" when untagged).
+	App string `json:"app,omitempty"`
+	// Verdict is "allow" or "drop".
+	Verdict string `json:"verdict"`
+	// Cause classifies drops (policy, untagged, unknown-app, ...).
+	Cause string `json:"cause,omitempty"`
+	// Rule is the decisive policy rule, when one matched.
+	Rule string `json:"rule,omitempty"`
+	// Stack is the decoded context, innermost frame first.
+	Stack []string `json:"stack,omitempty"`
+	// PayloadBytes is the packet payload size.
+	PayloadBytes int `json:"payload_bytes"`
+}
+
+// Log records enforcement decisions. A nil *Log is a valid no-op sink.
+type Log struct {
+	mu   sync.Mutex
+	w    io.Writer
+	seq  uint64
+	tail []Entry
+	// tailCap bounds the in-memory tail (0 disables it).
+	tailCap int
+	// dropsByApp aggregates drop counts per app hash.
+	dropsByApp map[string]uint64
+	writeErr   error
+}
+
+// New builds a log writing JSON lines to w (nil w keeps only the tail).
+func New(w io.Writer, tailCap int) *Log {
+	return &Log{w: w, tailCap: tailCap, dropsByApp: make(map[string]uint64)}
+}
+
+// Record converts an enforcement result into an audit entry.
+func (l *Log) Record(pkt *ipv4.Packet, res enforcer.Result) Entry {
+	e := Entry{
+		Src:          pkt.Header.Src.String(),
+		Dst:          pkt.Header.Dst.String(),
+		Verdict:      res.Verdict.String(),
+		PayloadBytes: len(pkt.Payload),
+	}
+	var zero dex.TruncatedHash
+	if res.AppHash != zero {
+		e.App = res.AppHash.String()
+	}
+	if res.Verdict == policy.VerdictDrop {
+		e.Cause = res.Cause.String()
+	}
+	if res.Decision != nil && res.Decision.Rule != nil {
+		e.Rule = res.Decision.Rule.String()
+	}
+	if len(res.Stack) > 0 {
+		e.Stack = make([]string, len(res.Stack))
+		for i, s := range res.Stack {
+			e.Stack[i] = s.String()
+		}
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if res.Verdict == policy.VerdictDrop && e.App != "" {
+		l.dropsByApp[e.App]++
+	}
+	if l.tailCap > 0 {
+		l.tail = append(l.tail, e)
+		if len(l.tail) > l.tailCap {
+			l.tail = l.tail[len(l.tail)-l.tailCap:]
+		}
+	}
+	if l.w != nil {
+		enc := json.NewEncoder(l.w)
+		if err := enc.Encode(e); err != nil && l.writeErr == nil {
+			l.writeErr = fmt.Errorf("audit: write: %w", err)
+		}
+	}
+	return e
+}
+
+// Tail returns the most recent entries (up to the tail capacity).
+func (l *Log) Tail() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.tail...)
+}
+
+// DropsByApp returns a copy of the per-app drop counters.
+func (l *Log) DropsByApp() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.dropsByApp))
+	for k, v := range l.dropsByApp {
+		out[k] = v
+	}
+	return out
+}
+
+// Err returns the first write error encountered, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeErr
+}
+
+// ReadEntries parses a JSON-lines audit stream.
+func ReadEntries(r io.Reader) ([]Entry, error) {
+	dec := json.NewDecoder(r)
+	var out []Entry
+	for dec.More() {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("audit: parse: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SrcAddr parses an entry's source back into an address (convenience for
+// tooling; returns the zero Addr on malformed input).
+func (e Entry) SrcAddr() netip.Addr {
+	a, err := netip.ParseAddr(e.Src)
+	if err != nil {
+		return netip.Addr{}
+	}
+	return a
+}

@@ -1,0 +1,149 @@
+package audit
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+)
+
+func samplePacket() *ipv4.Packet {
+	return &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL: 64, Protocol: ipv4.ProtoTCP,
+			Src: netip.MustParseAddr("10.66.0.2"),
+			Dst: netip.MustParseAddr("203.0.113.7"),
+		},
+		Payload: make([]byte, 42),
+	}
+}
+
+func dropResult() enforcer.Result {
+	var h dex.TruncatedHash
+	for i := range h {
+		h[i] = 0xab
+	}
+	rule := policy.Rule{Action: policy.Deny, Level: policy.LevelLibrary, Target: "com/flurry"}
+	sig, _ := dex.ParseSignature("Lcom/flurry/sdk/Agent;->beacon()V")
+	return enforcer.Result{
+		Verdict: policy.VerdictDrop,
+		Cause:   enforcer.DropPolicy,
+		AppHash: h,
+		Stack:   []dex.Signature{sig},
+		Decision: &policy.Decision{
+			Verdict: policy.VerdictDrop,
+			Rule:    &rule,
+			Reason:  "deny rule matched",
+		},
+	}
+}
+
+func TestRecordAndTail(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, 10)
+	e := l.Record(samplePacket(), dropResult())
+	if e.Seq != 1 || e.Verdict != "drop" || e.Cause != "policy" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.App == "" || len(e.Stack) != 1 || !strings.Contains(e.Rule, "com/flurry") {
+		t.Fatalf("entry context = %+v", e)
+	}
+	if e.PayloadBytes != 42 {
+		t.Fatalf("payload bytes = %d", e.PayloadBytes)
+	}
+	// Allow entry.
+	e2 := l.Record(samplePacket(), enforcer.Result{Verdict: policy.VerdictAllow})
+	if e2.Seq != 2 || e2.Verdict != "allow" || e2.Cause != "" {
+		t.Fatalf("allow entry = %+v", e2)
+	}
+	tail := l.Tail()
+	if len(tail) != 2 || tail[0].Seq != 1 {
+		t.Fatalf("tail = %+v", tail)
+	}
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+
+	// JSON lines round trip.
+	entries, err := ReadEntries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Cause != "policy" {
+		t.Fatalf("parsed = %+v", entries)
+	}
+	if entries[0].SrcAddr() != netip.MustParseAddr("10.66.0.2") {
+		t.Fatal("src addr lost")
+	}
+}
+
+func TestTailBounded(t *testing.T) {
+	l := New(nil, 3)
+	for i := 0; i < 10; i++ {
+		l.Record(samplePacket(), enforcer.Result{Verdict: policy.VerdictAllow})
+	}
+	tail := l.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail len = %d", len(tail))
+	}
+	if tail[0].Seq != 8 || tail[2].Seq != 10 {
+		t.Fatalf("tail seqs = %d..%d", tail[0].Seq, tail[2].Seq)
+	}
+}
+
+func TestDropsByApp(t *testing.T) {
+	l := New(nil, 0)
+	res := dropResult()
+	l.Record(samplePacket(), res)
+	l.Record(samplePacket(), res)
+	l.Record(samplePacket(), enforcer.Result{Verdict: policy.VerdictAllow})
+	drops := l.DropsByApp()
+	if len(drops) != 1 {
+		t.Fatalf("drops = %v", drops)
+	}
+	for _, v := range drops {
+		if v != 2 {
+			t.Fatalf("count = %d", v)
+		}
+	}
+}
+
+func TestReadEntriesErrors(t *testing.T) {
+	if _, err := ReadEntries(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	entries, err := ReadEntries(strings.NewReader(""))
+	if err != nil || len(entries) != 0 {
+		t.Errorf("empty stream: %v %v", entries, err)
+	}
+}
+
+func TestMalformedSrcAddr(t *testing.T) {
+	e := Entry{Src: "garbage"}
+	if e.SrcAddr().IsValid() {
+		t.Error("malformed address parsed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestWriteErrorRecorded(t *testing.T) {
+	l := New(failWriter{}, 0)
+	l.Record(samplePacket(), enforcer.Result{Verdict: policy.VerdictAllow})
+	if l.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+}

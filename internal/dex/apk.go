@@ -1,0 +1,185 @@
+package dex
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// APK is an Android application package: identifying metadata plus one or
+// more dex files. The apk's MD5 hash keys its signature mapping in the
+// Offline Analyzer database and (truncated to 8 bytes) identifies the app
+// inside every tagged packet (paper §IV-A1, §VII "Hash collision").
+type APK struct {
+	// PackageName is the Android application id (dot form, e.g.
+	// "com.dropbox.android").
+	PackageName string
+	// Label is the human-readable app name.
+	Label string
+	// Category is the Play-store category ("BUSINESS", "PRODUCTIVITY", ...).
+	Category string
+	// VersionCode distinguishes app versions; different versions hash
+	// differently and therefore need separate database entries (paper §VII
+	// "Ease of use").
+	VersionCode int
+	// Downloads approximates Play-store popularity, used to rank apps.
+	Downloads int64
+
+	Dexes []*File
+
+	hash     [md5.Size]byte
+	hashSet  bool
+	sigCache []Signature
+}
+
+// HashSize is the size in bytes of a full apk hash.
+const HashSize = md5.Size
+
+// TruncatedHashSize is the number of hash bytes carried in a packet tag.
+const TruncatedHashSize = 8
+
+// TruncatedHash is the 8-byte app identifier embedded in IP_OPTIONS.
+type TruncatedHash [TruncatedHashSize]byte
+
+// String renders the truncated hash as lowercase hex.
+func (t TruncatedHash) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTruncatedHash parses a 16-hex-digit truncated hash.
+func ParseTruncatedHash(s string) (TruncatedHash, error) {
+	var t TruncatedHash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return t, fmt.Errorf("dex: bad truncated hash %q: %w", s, err)
+	}
+	if len(b) != TruncatedHashSize {
+		return t, fmt.Errorf("dex: truncated hash %q has %d bytes, want %d", s, len(b), TruncatedHashSize)
+	}
+	copy(t[:], b)
+	return t, nil
+}
+
+// Hash returns the MD5 of the apk's canonical serialization. The
+// serialization is deterministic: identical logical packages always produce
+// identical hashes, mirroring how the paper hashes the apk file bytes.
+func (a *APK) Hash() [HashSize]byte {
+	if !a.hashSet {
+		h := md5.New()
+		var scratch [8]byte
+		writeStr := func(s string) {
+			binary.BigEndian.PutUint32(scratch[:4], uint32(len(s)))
+			h.Write(scratch[:4])
+			h.Write([]byte(s))
+		}
+		writeInt := func(v int64) {
+			binary.BigEndian.PutUint64(scratch[:], uint64(v))
+			h.Write(scratch[:])
+		}
+		writeStr(a.PackageName)
+		writeStr(a.Label)
+		writeStr(a.Category)
+		writeInt(int64(a.VersionCode))
+		writeInt(int64(len(a.Dexes)))
+		for _, d := range a.Dexes {
+			classes := make([]*ClassDef, len(d.Classes))
+			for i := range d.Classes {
+				classes[i] = &d.Classes[i]
+			}
+			sort.Slice(classes, func(i, j int) bool { return classes[i].Path() < classes[j].Path() })
+			writeInt(int64(len(classes)))
+			for _, c := range classes {
+				writeStr(c.Path())
+				writeStr(c.Super)
+				methods := append([]MethodDef(nil), c.Methods...)
+				sort.Slice(methods, func(i, j int) bool {
+					if methods[i].Name != methods[j].Name {
+						return methods[i].Name < methods[j].Name
+					}
+					return methods[i].Proto < methods[j].Proto
+				})
+				writeInt(int64(len(methods)))
+				for _, m := range methods {
+					writeStr(m.Name)
+					writeStr(m.Proto)
+					writeStr(m.File)
+					writeInt(int64(m.StartLine))
+					writeInt(int64(m.EndLine))
+				}
+			}
+		}
+		copy(a.hash[:], h.Sum(nil))
+		a.hashSet = true
+	}
+	return a.hash
+}
+
+// HashHex returns the full apk hash as lowercase hex (the database key).
+func (a *APK) HashHex() string {
+	h := a.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+// Truncated returns the 8-byte packet identifier for the app.
+func (a *APK) Truncated() TruncatedHash {
+	var t TruncatedHash
+	h := a.Hash()
+	copy(t[:], h[:TruncatedHashSize])
+	return t
+}
+
+// MultiDex reports whether the apk packs more than one dex file, which
+// forces the wide (3-byte) index encoding in packet tags (paper §VII).
+func (a *APK) MultiDex() bool { return len(a.Dexes) > 1 }
+
+// Signatures returns every method signature across all dex files in global
+// index order: dex files in apk order, signatures within each dex in
+// canonical order. The position in this slice is the method's global
+// BorderPatrol index.
+func (a *APK) Signatures() []Signature {
+	if a.sigCache == nil {
+		total := 0
+		for _, d := range a.Dexes {
+			total += d.MethodCount()
+		}
+		sigs := make([]Signature, 0, total)
+		for _, d := range a.Dexes {
+			sigs = append(sigs, d.Signatures()...)
+		}
+		a.sigCache = sigs
+	}
+	return a.sigCache
+}
+
+// DebugStripped reports whether any dex in the apk lacks debug line tables.
+func (a *APK) DebugStripped() bool {
+	for _, d := range a.Dexes {
+		if d.DebugStripped {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks every dex in the package.
+func (a *APK) Validate() error {
+	if a.PackageName == "" {
+		return fmt.Errorf("dex: apk missing package name")
+	}
+	if len(a.Dexes) == 0 {
+		return fmt.Errorf("dex: apk %s has no dex files", a.PackageName)
+	}
+	for i, d := range a.Dexes {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("dex: apk %s dex %d: %w", a.PackageName, i, err)
+		}
+	}
+	return nil
+}
+
+// Invalidate drops cached hash and signature state after a mutation. Tests
+// use this to model tampered or repackaged apps.
+func (a *APK) Invalidate() {
+	a.hashSet = false
+	a.sigCache = nil
+}

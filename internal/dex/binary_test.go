@@ -1,0 +1,90 @@
+package dex
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestAPKContainerRoundTrip(t *testing.T) {
+	orig := buildTestAPK()
+	orig.Dexes = append(orig.Dexes, &File{
+		DebugStripped: true,
+		Classes: []ClassDef{{
+			Package: "com/extra",
+			Name:    "More",
+			Super:   "java/lang/Object",
+			Methods: []MethodDef{{Name: "go", Proto: "()V", File: "More.java", StartLine: 1, EndLine: 9}},
+		}},
+	})
+	orig.Invalidate()
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadAPK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PackageName != orig.PackageName || back.Label != orig.Label ||
+		back.Category != orig.Category || back.VersionCode != orig.VersionCode ||
+		back.Downloads != orig.Downloads {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	if len(back.Dexes) != 2 || !back.Dexes[1].DebugStripped {
+		t.Fatal("dex structure mismatch")
+	}
+	// The deserialized package hashes identically: the container is a
+	// faithful representation of the apk bytes.
+	if back.HashHex() != orig.HashHex() {
+		t.Fatalf("hash changed through container: %s vs %s", back.HashHex(), orig.HashHex())
+	}
+	// And validates.
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAPKErrors(t *testing.T) {
+	if _, err := ReadAPK(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadAPK(bytes.NewReader([]byte{1, 2, 3, 4, 0, 1})); !errors.Is(err, ErrBadContainer) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Right magic, wrong version.
+	bad := []byte{0xDE, 0xC0, 0xDE, 0x1A, 0x00, 0x09}
+	if _, err := ReadAPK(bytes.NewReader(bad)); !errors.Is(err, ErrBadContainerVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated mid-structure.
+	var buf bytes.Buffer
+	if _, err := buildTestAPK().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{7, 10, len(full) / 2, len(full) - 1} {
+		if _, err := ReadAPK(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestContainerDeterministic(t *testing.T) {
+	a := buildTestAPK()
+	var b1, b2 bytes.Buffer
+	if _, err := a.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("container serialization not deterministic")
+	}
+}

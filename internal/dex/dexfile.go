@@ -1,0 +1,119 @@
+package dex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MethodDef is a method definition inside a class, carrying the debug
+// metadata the Dalvik format stores alongside bytecode: the source file and
+// the line range occupied by the method body. BorderPatrol's Context
+// Manager uses line numbers to disambiguate overloaded methods that share a
+// name (paper §II-A, Fig. 2).
+type MethodDef struct {
+	Name      string
+	Proto     string
+	File      string
+	StartLine int
+	EndLine   int
+}
+
+// ClassDef is a class definition: a simple name within a package plus its
+// method definitions and superclass reference.
+type ClassDef struct {
+	Package string
+	Name    string
+	Super   string
+	Methods []MethodDef
+}
+
+// Path returns the fully-qualified class path ("com/pkg/Class").
+func (c *ClassDef) Path() string {
+	if c.Package == "" {
+		return c.Name
+	}
+	return c.Package + "/" + c.Name
+}
+
+// File is one classes.dex within an apk. The Dalvik format caps a single
+// dex at 65,536 method references; larger apps ship multiple dex files
+// (paper §VII "Multi-dex file applications").
+type File struct {
+	Classes []ClassDef
+	// DebugStripped marks a dex whose line tables were removed (e.g. by a
+	// release build); frame resolution then over-approximates overloads.
+	DebugStripped bool
+}
+
+// MaxMethodsPerDex is the Dalvik method-reference limit for one dex file.
+const MaxMethodsPerDex = 65536
+
+// MethodCount returns the number of method definitions in the dex.
+func (f *File) MethodCount() int {
+	n := 0
+	for i := range f.Classes {
+		n += len(f.Classes[i].Methods)
+	}
+	return n
+}
+
+// Signatures returns every method signature in the dex in the canonical
+// deterministic order (package, class, name, proto). The position of a
+// signature in this list is its BorderPatrol index within the dex.
+func (f *File) Signatures() []Signature {
+	sigs := make([]Signature, 0, f.MethodCount())
+	for i := range f.Classes {
+		c := &f.Classes[i]
+		for _, m := range c.Methods {
+			sigs = append(sigs, Signature{
+				Package: c.Package,
+				Class:   c.Name,
+				Name:    m.Name,
+				Proto:   m.Proto,
+			})
+		}
+	}
+	sort.Slice(sigs, func(i, j int) bool { return Compare(sigs[i], sigs[j]) < 0 })
+	return sigs
+}
+
+// Validate checks dex-level invariants: method count under the Dalvik
+// limit, unique signatures, and non-overlapping line ranges for overloads
+// within a class (the property line-number disambiguation depends on).
+func (f *File) Validate() error {
+	if f.MethodCount() > MaxMethodsPerDex {
+		return fmt.Errorf("dex: %d methods exceeds Dalvik limit %d", f.MethodCount(), MaxMethodsPerDex)
+	}
+	seen := make(map[string]struct{}, f.MethodCount())
+	for i := range f.Classes {
+		c := &f.Classes[i]
+		byNameFile := make(map[string][]MethodDef)
+		for _, m := range c.Methods {
+			sig := Signature{Package: c.Package, Class: c.Name, Name: m.Name, Proto: m.Proto}
+			key := sig.String()
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("dex: duplicate signature %s", key)
+			}
+			seen[key] = struct{}{}
+			if m.StartLine > m.EndLine {
+				return fmt.Errorf("dex: %s has inverted line range [%d,%d]", key, m.StartLine, m.EndLine)
+			}
+			byNameFile[m.Name+"\x00"+m.File] = append(byNameFile[m.Name+"\x00"+m.File], m)
+		}
+		if f.DebugStripped {
+			continue
+		}
+		for key, overloads := range byNameFile {
+			if len(overloads) < 2 {
+				continue
+			}
+			sort.Slice(overloads, func(i, j int) bool { return overloads[i].StartLine < overloads[j].StartLine })
+			for i := 1; i < len(overloads); i++ {
+				if overloads[i].StartLine <= overloads[i-1].EndLine {
+					return fmt.Errorf("dex: overlapping line ranges for overloads of %s in class %s", key, c.Path())
+				}
+			}
+		}
+	}
+	return nil
+}

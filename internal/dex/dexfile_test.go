@@ -1,0 +1,202 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestAPK assembles a small two-class app used across the dex tests.
+func buildTestAPK() *APK {
+	return &APK{
+		PackageName: "com.example.app",
+		Label:       "Example",
+		Category:    "BUSINESS",
+		VersionCode: 7,
+		Downloads:   1000,
+		Dexes: []*File{{
+			Classes: []ClassDef{
+				{
+					Package: "com/example/app",
+					Name:    "Main",
+					Super:   "android/app/Activity",
+					Methods: []MethodDef{
+						{Name: "onCreate", Proto: "(Landroid/os/Bundle;)V", File: "Main.java", StartLine: 10, EndLine: 40},
+						{Name: "upload", Proto: "(Ljava/lang/String;)V", File: "Main.java", StartLine: 50, EndLine: 80},
+						{Name: "upload", Proto: "([B)V", File: "Main.java", StartLine: 90, EndLine: 120},
+					},
+				},
+				{
+					Package: "com/flurry/sdk",
+					Name:    "Analytics",
+					Super:   "java/lang/Object",
+					Methods: []MethodDef{
+						{Name: "report", Proto: "()V", File: "Analytics.java", StartLine: 5, EndLine: 30},
+					},
+				},
+			},
+		}},
+	}
+}
+
+func TestDexSignaturesSortedAndComplete(t *testing.T) {
+	apk := buildTestAPK()
+	sigs := apk.Dexes[0].Signatures()
+	if len(sigs) != 4 {
+		t.Fatalf("got %d signatures, want 4", len(sigs))
+	}
+	for i := 1; i < len(sigs); i++ {
+		if Compare(sigs[i-1], sigs[i]) >= 0 {
+			t.Errorf("signatures not strictly ordered at %d: %s then %s", i, sigs[i-1], sigs[i])
+		}
+	}
+	// com/example < com/flurry lexicographically.
+	if sigs[0].Package != "com/example/app" {
+		t.Errorf("first signature package = %q", sigs[0].Package)
+	}
+	if sigs[len(sigs)-1].Package != "com/flurry/sdk" {
+		t.Errorf("last signature package = %q", sigs[len(sigs)-1].Package)
+	}
+}
+
+func TestDexValidate(t *testing.T) {
+	apk := buildTestAPK()
+	if err := apk.Validate(); err != nil {
+		t.Fatalf("valid apk rejected: %v", err)
+	}
+
+	dup := buildTestAPK()
+	dup.Dexes[0].Classes[0].Methods = append(dup.Dexes[0].Classes[0].Methods,
+		MethodDef{Name: "upload", Proto: "([B)V", File: "Main.java", StartLine: 200, EndLine: 210})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate signature accepted")
+	}
+
+	overlap := buildTestAPK()
+	overlap.Dexes[0].Classes[0].Methods[2].StartLine = 60 // overlaps first upload overload
+	if err := overlap.Validate(); err == nil {
+		t.Error("overlapping overload line ranges accepted")
+	} else if !strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	inverted := buildTestAPK()
+	inverted.Dexes[0].Classes[0].Methods[0].EndLine = 5
+	if err := inverted.Validate(); err == nil {
+		t.Error("inverted line range accepted")
+	}
+
+	empty := &APK{PackageName: "x"}
+	if err := empty.Validate(); err == nil {
+		t.Error("apk without dex accepted")
+	}
+}
+
+func TestAPKHashDeterministicAndSensitive(t *testing.T) {
+	a := buildTestAPK()
+	b := buildTestAPK()
+	if a.HashHex() != b.HashHex() {
+		t.Fatal("identical apks hash differently")
+	}
+	b.VersionCode = 8
+	b.Invalidate()
+	if a.HashHex() == b.HashHex() {
+		t.Fatal("version change did not change hash")
+	}
+	c := buildTestAPK()
+	c.Dexes[0].Classes[0].Methods[0].StartLine = 11
+	c.Invalidate()
+	if a.HashHex() == c.HashHex() {
+		t.Fatal("method change did not change hash")
+	}
+}
+
+func TestAPKHashOrderInsensitiveToClassOrder(t *testing.T) {
+	a := buildTestAPK()
+	b := buildTestAPK()
+	b.Dexes[0].Classes[0], b.Dexes[0].Classes[1] = b.Dexes[0].Classes[1], b.Dexes[0].Classes[0]
+	if a.HashHex() != b.HashHex() {
+		t.Fatal("class declaration order changed hash; serialization must canonicalize")
+	}
+}
+
+func TestTruncatedHash(t *testing.T) {
+	a := buildTestAPK()
+	tr := a.Truncated()
+	full := a.Hash()
+	for i := 0; i < TruncatedHashSize; i++ {
+		if tr[i] != full[i] {
+			t.Fatalf("truncated hash byte %d mismatch", i)
+		}
+	}
+	parsed, err := ParseTruncatedHash(tr.String())
+	if err != nil {
+		t.Fatalf("ParseTruncatedHash: %v", err)
+	}
+	if parsed != tr {
+		t.Fatal("truncated hash round trip failed")
+	}
+	if _, err := ParseTruncatedHash("zz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := ParseTruncatedHash("aabb"); err == nil {
+		t.Error("short hash accepted")
+	}
+}
+
+func TestMultiDexDetection(t *testing.T) {
+	a := buildTestAPK()
+	if a.MultiDex() {
+		t.Fatal("single dex reported as multi-dex")
+	}
+	a.Dexes = append(a.Dexes, &File{Classes: []ClassDef{{
+		Package: "com/extra",
+		Name:    "More",
+		Methods: []MethodDef{{Name: "go", Proto: "()V", File: "More.java", StartLine: 1, EndLine: 2}},
+	}}})
+	a.Invalidate()
+	if !a.MultiDex() {
+		t.Fatal("multi-dex apk not detected")
+	}
+	// Global index ordering: dex 0 signatures come before dex 1 signatures.
+	sigs := a.Signatures()
+	if len(sigs) != 5 {
+		t.Fatalf("got %d signatures, want 5", len(sigs))
+	}
+	if sigs[4].Package != "com/extra" {
+		t.Fatalf("second dex signatures must come last, got %s", sigs[4])
+	}
+}
+
+func TestDexMethodLimit(t *testing.T) {
+	// A dex just over the Dalvik limit must fail validation.
+	classes := make([]ClassDef, 1)
+	methods := make([]MethodDef, MaxMethodsPerDex+1)
+	for i := range methods {
+		methods[i] = MethodDef{
+			Name:      "m" + itoa(i),
+			Proto:     "()V",
+			File:      "Big.java",
+			StartLine: i * 2,
+			EndLine:   i*2 + 1,
+		}
+	}
+	classes[0] = ClassDef{Package: "com/big", Name: "Big", Methods: methods}
+	d := &File{Classes: classes}
+	if err := d.Validate(); err == nil {
+		t.Fatal("dex over the method limit accepted")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

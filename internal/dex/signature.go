@@ -1,0 +1,140 @@
+// Package dex models Android application packages (apk) at the level of
+// detail BorderPatrol needs: Dalvik-style method signatures, class
+// definitions with debug line tables, multi-dex layouts, and deterministic
+// apk hashing. It is the in-Go substitute for dexlib2 over real
+// classes.dex files (paper §II-A, §V-A); the structural properties
+// BorderPatrol relies on — unique method signatures, deterministic
+// ordering, line-number based overload disambiguation — are preserved
+// exactly.
+package dex
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Signature identifies a method within an app, in smali-like syntax:
+//
+//	Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;
+//
+// Package is the slash-separated Java package path ("com/dropbox/android/taskqueue"),
+// Class the simple class name ("UploadTask"), Name the method name ("c"),
+// and Proto the parameter list and return type descriptor ("()Lcom/...;").
+type Signature struct {
+	Package string
+	Class   string
+	Name    string
+	Proto   string
+}
+
+// ErrBadSignature reports an unparsable smali signature string.
+var ErrBadSignature = errors.New("dex: malformed method signature")
+
+// String renders the canonical smali form of the signature.
+func (s Signature) String() string {
+	var b strings.Builder
+	b.Grow(len(s.Package) + len(s.Class) + len(s.Name) + len(s.Proto) + 8)
+	b.WriteByte('L')
+	if s.Package != "" {
+		b.WriteString(s.Package)
+		b.WriteByte('/')
+	}
+	b.WriteString(s.Class)
+	b.WriteString(";->")
+	b.WriteString(s.Name)
+	b.WriteString(s.Proto)
+	return b.String()
+}
+
+// ClassPath returns the fully-qualified class path ("com/pkg/Class").
+func (s Signature) ClassPath() string {
+	if s.Package == "" {
+		return s.Class
+	}
+	return s.Package + "/" + s.Class
+}
+
+// Merged reports whether the signature is an over-approximated merge of
+// overloaded methods (produced when debug info was stripped; paper §VII
+// "Overloaded methods"). Merged signatures carry the wildcard proto "*".
+func (s Signature) Merged() bool { return s.Proto == "*" }
+
+// MergeOverloads returns the over-approximated signature that stands for
+// every overload of the method: same class and name, wildcard proto.
+func (s Signature) MergeOverloads() Signature {
+	s.Proto = "*"
+	return s
+}
+
+// ParseSignature parses a canonical smali method signature string.
+func ParseSignature(raw string) (Signature, error) {
+	if !strings.HasPrefix(raw, "L") {
+		return Signature{}, fmt.Errorf("%w: missing L prefix in %q", ErrBadSignature, raw)
+	}
+	sep := strings.Index(raw, ";->")
+	if sep < 0 {
+		return Signature{}, fmt.Errorf("%w: missing ;-> in %q", ErrBadSignature, raw)
+	}
+	classPath := raw[1:sep]
+	rest := raw[sep+3:]
+	if classPath == "" || rest == "" {
+		return Signature{}, fmt.Errorf("%w: empty class or method in %q", ErrBadSignature, raw)
+	}
+	var sig Signature
+	if slash := strings.LastIndexByte(classPath, '/'); slash >= 0 {
+		sig.Package = classPath[:slash]
+		sig.Class = classPath[slash+1:]
+	} else {
+		sig.Class = classPath
+	}
+	if sig.Class == "" {
+		return Signature{}, fmt.Errorf("%w: empty class name in %q", ErrBadSignature, raw)
+	}
+	if rest == "*" || strings.HasSuffix(rest, "*") && !strings.Contains(rest, "(") {
+		sig.Name = strings.TrimSuffix(rest, "*")
+		sig.Proto = "*"
+		if sig.Name == "" {
+			return Signature{}, fmt.Errorf("%w: empty method name in %q", ErrBadSignature, raw)
+		}
+		return sig, nil
+	}
+	paren := strings.IndexByte(rest, '(')
+	if paren <= 0 {
+		return Signature{}, fmt.Errorf("%w: missing parameter list in %q", ErrBadSignature, raw)
+	}
+	sig.Name = rest[:paren]
+	sig.Proto = rest[paren:]
+	if !strings.Contains(sig.Proto, ")") {
+		return Signature{}, fmt.Errorf("%w: unterminated parameter list in %q", ErrBadSignature, raw)
+	}
+	return sig, nil
+}
+
+// Compare orders signatures by package, class, name, then proto. The offline
+// analyzer relies on this total order for deterministic index assignment.
+func Compare(a, b Signature) int {
+	if c := strings.Compare(a.Package, b.Package); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Class, b.Class); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Name, b.Name); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Proto, b.Proto)
+}
+
+// PackagePrefixMatch reports whether prefix matches path at Java package
+// segment boundaries: "com/flurry" matches "com/flurry" and
+// "com/flurry/sdk" but not "com/flurryx".
+func PackagePrefixMatch(prefix, path string) bool {
+	if prefix == "" {
+		return false
+	}
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}

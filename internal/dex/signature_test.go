@@ -1,0 +1,184 @@
+package dex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSignatureRoundTrip(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want Signature
+	}{
+		{
+			raw:  "Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;",
+			want: Signature{Package: "com/dropbox/android/taskqueue", Class: "UploadTask", Name: "c", Proto: "()Lcom/dropbox/hairball/taskqueue/TaskResult;"},
+		},
+		{
+			raw:  "Lcom/flurry/sdk/Analytics;->report(Ljava/lang/String;I)V",
+			want: Signature{Package: "com/flurry/sdk", Class: "Analytics", Name: "report", Proto: "(Ljava/lang/String;I)V"},
+		},
+		{
+			raw:  "LMain;->main([Ljava/lang/String;)V",
+			want: Signature{Package: "", Class: "Main", Name: "main", Proto: "([Ljava/lang/String;)V"},
+		},
+	}
+	for _, tc := range cases {
+		got, err := ParseSignature(tc.raw)
+		if err != nil {
+			t.Fatalf("ParseSignature(%q): %v", tc.raw, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseSignature(%q) = %+v, want %+v", tc.raw, got, tc.want)
+		}
+		if got.String() != tc.raw {
+			t.Errorf("round trip of %q produced %q", tc.raw, got.String())
+		}
+	}
+}
+
+func TestParseSignatureMerged(t *testing.T) {
+	sig, err := ParseSignature("Lcom/foo/Bar;->baz*")
+	if err != nil {
+		t.Fatalf("parse merged: %v", err)
+	}
+	if !sig.Merged() {
+		t.Fatalf("expected merged signature, got %+v", sig)
+	}
+	if sig.Name != "baz" || sig.Class != "Bar" {
+		t.Fatalf("merged parse wrong: %+v", sig)
+	}
+	if got := sig.String(); got != "Lcom/foo/Bar;->baz*" {
+		t.Fatalf("merged round trip produced %q", got)
+	}
+}
+
+func TestParseSignatureErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"com/foo/Bar;->baz()V",  // missing L
+		"Lcom/foo/Bar;baz()V",   // missing ;->
+		"Lcom/foo/Bar;->",       // empty method
+		"L;->baz()V",            // empty class
+		"Lcom/foo/Bar;->baz",    // no parameter list
+		"Lcom/foo/Bar;->(I)V",   // empty name
+		"Lcom/foo/Bar;->baz(IV", // unterminated params
+		"Lcom/foo/;->baz()V",    // trailing slash, empty class
+	}
+	for _, raw := range bad {
+		if _, err := ParseSignature(raw); err == nil {
+			t.Errorf("ParseSignature(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestSignatureClassPath(t *testing.T) {
+	s := Signature{Package: "com/foo", Class: "Bar"}
+	if got := s.ClassPath(); got != "com/foo/Bar" {
+		t.Fatalf("ClassPath = %q", got)
+	}
+	s.Package = ""
+	if got := s.ClassPath(); got != "Bar" {
+		t.Fatalf("ClassPath without package = %q", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	a := Signature{Package: "com/a", Class: "A", Name: "m", Proto: "()V"}
+	b := Signature{Package: "com/b", Class: "A", Name: "m", Proto: "()V"}
+	c := Signature{Package: "com/b", Class: "B", Name: "m", Proto: "()V"}
+	d := Signature{Package: "com/b", Class: "B", Name: "n", Proto: "()V"}
+	e := Signature{Package: "com/b", Class: "B", Name: "n", Proto: "(I)V"}
+	ordered := []Signature{a, b, c, d, e}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%d,%d) = %d, want <0", i, j, got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%d,%d) = %d, want 0", i, j, got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%d,%d) = %d, want >0", i, j, got)
+			}
+		}
+	}
+}
+
+func TestPackagePrefixMatch(t *testing.T) {
+	cases := []struct {
+		prefix, path string
+		want         bool
+	}{
+		{"com/flurry", "com/flurry", true},
+		{"com/flurry", "com/flurry/sdk", true},
+		{"com/flurry", "com/flurryx", false},
+		{"com/flurry", "com/flur", false},
+		{"", "com/flurry", false},
+		{"com/google/gms", "com/google/gms/analytics/Tracker", true},
+	}
+	for _, tc := range cases {
+		if got := PackagePrefixMatch(tc.prefix, tc.path); got != tc.want {
+			t.Errorf("PackagePrefixMatch(%q, %q) = %v, want %v", tc.prefix, tc.path, got, tc.want)
+		}
+	}
+}
+
+// randomIdent produces a plausible Java identifier for property tests.
+func randomIdent(r *rand.Rand, minLen int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := minLen + r.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	return b.String()
+}
+
+func randomSignature(r *rand.Rand) Signature {
+	segs := 1 + r.Intn(4)
+	parts := make([]string, segs)
+	for i := range parts {
+		parts[i] = strings.ToLower(randomIdent(r, 2))
+	}
+	protos := []string{"()V", "(I)V", "(Ljava/lang/String;)Z", "([BII)I", "(JJ)Ljava/lang/Object;"}
+	return Signature{
+		Package: strings.Join(parts, "/"),
+		Class:   randomIdent(r, 3),
+		Name:    randomIdent(r, 1),
+		Proto:   protos[r.Intn(len(protos))],
+	}
+}
+
+func TestSignatureRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sig := randomSignature(r)
+		parsed, err := ParseSignature(sig.String())
+		return err == nil && parsed == sig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareConsistentWithStringOrder(t *testing.T) {
+	// Compare is a strict weak ordering aligned with component-wise order;
+	// verify antisymmetry and transitivity over random triples.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSignature(r), randomSignature(r), randomSignature(r)
+		if Compare(a, b) < 0 && Compare(b, c) < 0 && Compare(a, c) >= 0 {
+			return false // transitivity violated
+		}
+		if Compare(a, b) < 0 && Compare(b, a) <= 0 {
+			return false // antisymmetry violated
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

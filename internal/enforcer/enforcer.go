@@ -1,0 +1,191 @@
+// Package enforcer implements BorderPatrol's Policy Enforcer (paper
+// §IV-A3, §V-C): the network-side component that inspects every packet
+// leaving the BYOD perimeter in three stages — (i) extraction of the app
+// hash and index sequence from IP_OPTIONS, (ii) decoding indexes back to
+// method signatures through the Offline Analyzer's database, and
+// (iii) enforcement of the configured policy rules.
+//
+// Per the paper's deployment discussion (§VII "Compatibility"), packets
+// without a BorderPatrol tag are dropped by default: inside the perimeter
+// every work-profile packet must originate from a socket the Context
+// Manager controls, so untagged traffic is either a personal app that has
+// no business on the corporate network or an evasion attempt (e.g. native
+// sockets).
+package enforcer
+
+import (
+	"fmt"
+	"sync"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/tag"
+)
+
+// Config selects enforcer behaviour for edge cases.
+type Config struct {
+	// AllowUntagged admits packets without a BorderPatrol option instead of
+	// dropping them (useful for staged rollouts; the paper's deployment
+	// drops them).
+	AllowUntagged bool
+	// AllowUnknownApps admits tagged packets whose app hash is not in the
+	// database. The default (false) drops them: an unprovisioned or
+	// repackaged app must not exfiltrate just by being unknown.
+	AllowUnknownApps bool
+}
+
+// DropCause classifies why the enforcer dropped a packet.
+type DropCause int
+
+// Drop causes.
+const (
+	// DropNone means the packet was accepted.
+	DropNone DropCause = iota
+	// DropUntagged is a packet without the BorderPatrol IP option.
+	DropUntagged
+	// DropMalformedTag is a tag that failed to decode.
+	DropMalformedTag
+	// DropUnknownApp is a tag whose app hash is not in the database.
+	DropUnknownApp
+	// DropBadIndex is a tag with an index outside the app's method table.
+	DropBadIndex
+	// DropPolicy is a packet denied by a policy rule (or default).
+	DropPolicy
+)
+
+// String names the drop cause.
+func (c DropCause) String() string {
+	switch c {
+	case DropNone:
+		return "accepted"
+	case DropUntagged:
+		return "untagged"
+	case DropMalformedTag:
+		return "malformed-tag"
+	case DropUnknownApp:
+		return "unknown-app"
+	case DropBadIndex:
+		return "bad-index"
+	case DropPolicy:
+		return "policy"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// Result reports the enforcer's decision for one packet, with the decoded
+// context for auditing and the Policy Extractor.
+type Result struct {
+	Verdict policy.Verdict
+	Cause   DropCause
+	// AppHash is the decoded app identity (zero when untagged).
+	AppHash dex.TruncatedHash
+	// Stack is the decoded stack trace (nil when undecodable).
+	Stack []dex.Signature
+	// Decision carries the policy engine's reasoning when it ran.
+	Decision *policy.Decision
+}
+
+// Stats counts enforcement outcomes.
+type Stats struct {
+	Processed      uint64
+	Accepted       uint64
+	Dropped        uint64
+	DroppedByCause map[DropCause]uint64
+}
+
+// Enforcer evaluates packets against a policy using a signature database.
+type Enforcer struct {
+	cfg    Config
+	db     *analyzer.Database
+	engine *policy.Engine
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an enforcer.
+func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
+	return &Enforcer{
+		cfg:    cfg,
+		db:     db,
+		engine: engine,
+		stats:  Stats{DroppedByCause: make(map[DropCause]uint64)},
+	}
+}
+
+// Engine exposes the policy engine (for central reconfiguration).
+func (e *Enforcer) Engine() *policy.Engine { return e.engine }
+
+// Process runs the three enforcement stages on one packet.
+func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
+	res := e.process(pkt)
+	e.mu.Lock()
+	e.stats.Processed++
+	if res.Verdict == policy.VerdictAllow {
+		e.stats.Accepted++
+	} else {
+		e.stats.Dropped++
+		e.stats.DroppedByCause[res.Cause]++
+	}
+	e.mu.Unlock()
+	return res
+}
+
+func (e *Enforcer) process(pkt *ipv4.Packet) Result {
+	// Stage 1: extraction.
+	opt, tagged := pkt.Header.FindOption(ipv4.OptSecurity)
+	if !tagged {
+		if e.cfg.AllowUntagged {
+			return Result{Verdict: policy.VerdictAllow}
+		}
+		return Result{Verdict: policy.VerdictDrop, Cause: DropUntagged}
+	}
+	decoded, err := tag.Decode(opt.Data)
+	if err != nil {
+		return Result{Verdict: policy.VerdictDrop, Cause: DropMalformedTag}
+	}
+
+	// Stage 2: decoding via the analyzer database.
+	if _, known := e.db.LookupTruncated(decoded.AppHash); !known {
+		if e.cfg.AllowUnknownApps {
+			return Result{Verdict: policy.VerdictAllow, AppHash: decoded.AppHash}
+		}
+		return Result{Verdict: policy.VerdictDrop, Cause: DropUnknownApp, AppHash: decoded.AppHash}
+	}
+	stack, err := e.db.DecodeStack(decoded.AppHash, decoded.Indexes)
+	if err != nil {
+		return Result{Verdict: policy.VerdictDrop, Cause: DropBadIndex, AppHash: decoded.AppHash}
+	}
+
+	// Stage 3: enforcement.
+	decision := e.engine.Evaluate(decoded.AppHash, stack)
+	res := Result{
+		Verdict:  decision.Verdict,
+		AppHash:  decoded.AppHash,
+		Stack:    stack,
+		Decision: &decision,
+	}
+	if decision.Verdict == policy.VerdictDrop {
+		res.Cause = DropPolicy
+	}
+	return res
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Enforcer) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Stats{
+		Processed:      e.stats.Processed,
+		Accepted:       e.stats.Accepted,
+		Dropped:        e.stats.Dropped,
+		DroppedByCause: make(map[DropCause]uint64, len(e.stats.DroppedByCause)),
+	}
+	for k, v := range e.stats.DroppedByCause {
+		out.DroppedByCause[k] = v
+	}
+	return out
+}

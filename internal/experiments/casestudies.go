@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"borderpatrol/internal/android"
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/baseline"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/extractor"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/trackers"
+)
+
+// Mechanism labels for the case-study comparison tables.
+const (
+	MechNone          = "no-enforcement"
+	MechIPBlocklist   = "ip-blocklist"
+	MechFlowThreshold = "flow-threshold"
+	MechBorderPatrol  = "borderpatrol"
+)
+
+// CaseStudyResult is one comparison table: per functionality, per
+// mechanism, whether the functionality's traffic got through.
+type CaseStudyResult struct {
+	Name string
+	// AppNames lists the scripted apps exercised.
+	AppNames []string
+	// Functionalities in presentation order; each entry is app/function.
+	Functionalities []string
+	// Desired records the corporate intent (true = must keep working).
+	Desired map[string]bool
+	// Allowed[mechanism][functionality] reports whether traffic flowed.
+	Allowed map[string]map[string]bool
+	// ExtractedRules are the BorderPatrol rules the Policy Extractor
+	// derived from the two profiling runs.
+	ExtractedRules []policy.Rule
+	// Notes carries experiment-specific observations.
+	Notes []string
+}
+
+// scriptedCloudApps builds the Dropbox-like and Box-like apps of §VI-C.
+func scriptedCloudApps() []*apkgen.App {
+	// Dropbox-like: every functionality shares one endpoint IP.
+	dropboxEP := netip.AddrPortFrom(netip.MustParseAddr("162.125.4.1"), 443)
+	dbx := scriptedApp("com.dropbox.android", "com/dropbox/android", []scriptedFn{
+		{name: "login", desirable: true, class: "AuthActivity", method: "authenticate", op: android.NetOp{Endpoint: dropboxEP, Host: "www.dropbox.com", Method: "POST", Path: "/login", PayloadBytes: 96}},
+		{name: "list", desirable: true, class: "BrowserFragment", method: "listFolder", op: android.NetOp{Endpoint: dropboxEP, Host: "api.dropboxapi.com", Method: "GET", Path: "/2/files/list_folder"}},
+		{name: "download", desirable: true, class: "DownloadTask", method: "run", op: android.NetOp{Endpoint: dropboxEP, Host: "content.dropboxapi.com", Method: "GET", Path: "/2/files/download"}},
+		{name: "upload", desirable: false, class: "UploadTask", method: "c", op: android.NetOp{Endpoint: dropboxEP, Host: "content.dropboxapi.com", Method: "PUT", Path: "/2/files/upload", PayloadBytes: 8192}},
+	})
+	// Box-like: upload and listing share one IP; download uses another.
+	boxUpEP := netip.AddrPortFrom(netip.MustParseAddr("74.112.185.1"), 443)
+	boxDownEP := netip.AddrPortFrom(netip.MustParseAddr("74.112.186.1"), 443)
+	box := scriptedApp("com.box.android", "com/box/android", []scriptedFn{
+		{name: "login", desirable: true, class: "AuthActivity", method: "authenticate", op: android.NetOp{Endpoint: boxUpEP, Host: "account.box.com", Method: "POST", Path: "/login", PayloadBytes: 96}},
+		{name: "list", desirable: true, class: "BrowseController", method: "listItems", op: android.NetOp{Endpoint: boxUpEP, Host: "api.box.com", Method: "GET", Path: "/2.0/folders"}},
+		{name: "download", desirable: true, class: "DownloadTask", method: "fetch", op: android.NetOp{Endpoint: boxDownEP, Host: "dl.boxcloud.com", Method: "GET", Path: "/file"}},
+		{name: "upload", desirable: false, class: "BoxRequestUpload", method: "send", op: android.NetOp{Endpoint: boxUpEP, Host: "upload.box.com", Method: "POST", Path: "/api/2.0/files/content", PayloadBytes: 8192}},
+	})
+	return []*apkgen.App{dbx, box}
+}
+
+// scriptedFacebookApp builds the SolCalendar-like app: Facebook SDK login
+// and analytics to the same Graph API endpoint.
+func scriptedFacebookApp() *apkgen.App {
+	graphEP := netip.AddrPortFrom(netip.MustParseAddr("31.13.66.19"), 443)
+	calEP := netip.AddrPortFrom(netip.MustParseAddr("211.115.98.1"), 443)
+	return scriptedApp("net.daum.android.solcalendar", "com/facebook/sdk", []scriptedFn{
+		{name: "fb-login", desirable: true, class: "LoginManager", method: "logInWithReadPermissions", op: android.NetOp{Endpoint: graphEP, Host: "graph.facebook.com", Method: "POST", Path: "/oauth/access_token", PayloadBytes: 128}},
+		{name: "fb-analytics", desirable: false, class: "AppEventsLogger", method: "flush", op: android.NetOp{Endpoint: graphEP, Host: "graph.facebook.com", Method: "POST", Path: "/activities", PayloadBytes: 420}},
+		{name: "calendar-sync", desirable: true, class: "SyncAdapter", method: "onPerformSync", op: android.NetOp{Endpoint: calEP, Host: "sync.solcalendar.com", Method: "GET", Path: "/events"}},
+	})
+}
+
+type scriptedFn struct {
+	name      string
+	desirable bool
+	class     string
+	method    string
+	op        android.NetOp
+}
+
+// scriptedApp assembles an apkgen.App whose dex and call paths are
+// consistent: one class per functionality inside basePkg.
+func scriptedApp(pkgName, basePkg string, fns []scriptedFn) *apkgen.App {
+	classes := make([]dex.ClassDef, 0, len(fns))
+	funcs := make([]android.Functionality, 0, len(fns))
+	meta := make(map[string]apkgen.FuncMeta, len(fns))
+	line := 10
+	for _, fn := range fns {
+		cls := dex.ClassDef{
+			Package: basePkg,
+			Name:    fn.class,
+			Super:   "java/lang/Object",
+			Methods: []dex.MethodDef{{
+				Name: fn.method, Proto: "(Ljava/lang/String;)V",
+				File: fn.class + ".java", StartLine: line, EndLine: line + 30,
+			}},
+		}
+		classes = append(classes, cls)
+		funcs = append(funcs, android.Functionality{
+			Name:      fn.name,
+			Desirable: fn.desirable,
+			CallPath: []dex.Frame{{
+				Class: basePkg + "/" + fn.class, Method: fn.method,
+				File: fn.class + ".java", Line: line + 3,
+			}},
+			Op:     fn.op,
+			Weight: 1,
+		})
+		meta[fn.name] = apkgen.FuncMeta{Category: trackers.SocialSDK}
+		line += 50
+	}
+	return &apkgen.App{
+		APK: &dex.APK{
+			PackageName: pkgName,
+			Label:       pkgName,
+			Category:    "PRODUCTIVITY",
+			VersionCode: 1,
+			Dexes:       []*dex.File{{Classes: classes}},
+		},
+		Functionalities: funcs,
+		Meta:            meta,
+	}
+}
+
+// RunCloudCaseStudy reproduces the §VI-C cloud-storage comparison.
+func RunCloudCaseStudy() (*CaseStudyResult, error) {
+	apps := scriptedCloudApps()
+	res := &CaseStudyResult{
+		Name:    "cloud-storage (Dropbox & Box)",
+		Desired: make(map[string]bool),
+		Allowed: make(map[string]map[string]bool),
+	}
+	for _, m := range []string{MechNone, MechIPBlocklist, MechFlowThreshold, MechBorderPatrol} {
+		res.Allowed[m] = make(map[string]bool)
+	}
+
+	// Derive BorderPatrol rules with the Policy Extractor: profile run 1
+	// exercises desirable ops, run 2 the uploads.
+	rules, err := extractUploadRules(apps)
+	if err != nil {
+		return nil, err
+	}
+	res.ExtractedRules = rules
+
+	// Mechanism: IP blocklist — block each app's upload destination.
+	blocklist := baseline.NewIPBlocklist()
+	for _, ga := range apps {
+		for _, fn := range ga.Functionalities {
+			if !fn.Desirable && fn.Op.Method != "GET" {
+				blocklist.Block(fn.Op.Endpoint.Addr())
+			}
+		}
+	}
+	// Mechanism: flow threshold at 4 KB.
+	flowThresh := baseline.NewFlowSizeThreshold(4096)
+
+	// Enforced testbed for BorderPatrol.
+	tbBP, err := NewTestbed(apps, TestbedConfig{EnforcementOn: true, Rules: rules, DefaultVerdict: policy.VerdictAllow})
+	if err != nil {
+		return nil, err
+	}
+	tbOff, err := NewTestbed(apps, TestbedConfig{EnforcementOn: false})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, ga := range apps {
+		res.AppNames = append(res.AppNames, ga.APK.PackageName)
+		for _, fn := range ga.Functionalities {
+			key := ga.APK.PackageName + "/" + fn.Name
+			res.Functionalities = append(res.Functionalities, key)
+			res.Desired[key] = fn.Desirable
+
+			// No enforcement.
+			off, err := tbOff.Apps[i].Invoke(fn.Name)
+			if err != nil {
+				return nil, err
+			}
+			res.Allowed[MechNone][key] = delivered(tbOff, off.Packets) == len(off.Packets) && len(off.Packets) > 0
+
+			// IP blocklist and flow threshold evaluate the same packets.
+			ipOK, flowOK := true, true
+			for _, pkt := range off.Packets {
+				if blocklist.Decide(pkt) == policy.VerdictDrop {
+					ipOK = false
+				}
+				if flowThresh.DecideWithPort(pkt, 1) == policy.VerdictDrop {
+					flowOK = false
+				}
+			}
+			res.Allowed[MechIPBlocklist][key] = ipOK
+			res.Allowed[MechFlowThreshold][key] = flowOK
+
+			// BorderPatrol.
+			on, err := tbBP.Apps[i].Invoke(fn.Name)
+			if err != nil {
+				return nil, err
+			}
+			res.Allowed[MechBorderPatrol][key] = delivered(tbBP, on.Packets) == len(on.Packets) && len(on.Packets) > 0
+		}
+	}
+
+	res.Notes = append(res.Notes,
+		"Dropbox uses one endpoint for all operations: the IP blocklist must block everything or nothing.",
+		"Box uploads and folder listing share an IP: blocking the upload IP also breaks listing (and thus download discovery).",
+		"BorderPatrol drops only packets whose stack contains the upload task method.",
+	)
+	return res, nil
+}
+
+// extractUploadRules runs the Policy Extractor over the cloud apps: run 1
+// exercises desirable ops, run 2 the uploads; the diff yields method-level
+// deny rules.
+func extractUploadRules(apps []*apkgen.App) ([]policy.Rule, error) {
+	tb, err := NewTestbed(apps, TestbedConfig{EnforcementOn: false})
+	if err != nil {
+		return nil, err
+	}
+	var basePkts, badPkts []*ipv4.Packet
+	for i, ga := range apps {
+		for _, fn := range ga.Functionalities {
+			r, err := tb.Apps[i].Invoke(fn.Name)
+			if err != nil {
+				return nil, err
+			}
+			if fn.Desirable {
+				basePkts = append(basePkts, r.Packets...)
+			} else {
+				badPkts = append(badPkts, r.Packets...)
+			}
+		}
+	}
+	baseProf, err := extractor.BuildProfile(basePkts, tb.DB)
+	if err != nil {
+		return nil, err
+	}
+	badProf, err := extractor.BuildProfile(badPkts, tb.DB)
+	if err != nil {
+		return nil, err
+	}
+	return extractor.ExtractRules(baseProf, badProf, policy.LevelMethod)
+}
+
+// RunFacebookCaseStudy reproduces the §VI-C SolCalendar comparison: on-
+// network IP blocking breaks "Login with Facebook"; BorderPatrol drops only
+// the analytics stacks.
+func RunFacebookCaseStudy() (*CaseStudyResult, error) {
+	app := scriptedFacebookApp()
+	apps := []*apkgen.App{app}
+	res := &CaseStudyResult{
+		Name:    "facebook-sdk (SolCalendar)",
+		Desired: make(map[string]bool),
+		Allowed: make(map[string]map[string]bool),
+	}
+	for _, m := range []string{MechNone, MechIPBlocklist, MechBorderPatrol} {
+		res.Allowed[m] = make(map[string]bool)
+	}
+
+	rules, err := extractUploadRules(apps)
+	if err != nil {
+		return nil, err
+	}
+	res.ExtractedRules = rules
+
+	// On-network: block the Graph API endpoint.
+	blocklist := baseline.NewIPBlocklist(netip.MustParseAddr("31.13.66.19"))
+
+	tbBP, err := NewTestbed(apps, TestbedConfig{EnforcementOn: true, Rules: rules, DefaultVerdict: policy.VerdictAllow})
+	if err != nil {
+		return nil, err
+	}
+	tbOff, err := NewTestbed(apps, TestbedConfig{EnforcementOn: false})
+	if err != nil {
+		return nil, err
+	}
+
+	res.AppNames = append(res.AppNames, app.APK.PackageName)
+	for _, fn := range app.Functionalities {
+		key := app.APK.PackageName + "/" + fn.Name
+		res.Functionalities = append(res.Functionalities, key)
+		res.Desired[key] = fn.Desirable
+
+		off, err := tbOff.Apps[0].Invoke(fn.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Allowed[MechNone][key] = delivered(tbOff, off.Packets) == len(off.Packets) && len(off.Packets) > 0
+		ipOK := true
+		for _, pkt := range off.Packets {
+			if blocklist.Decide(pkt) == policy.VerdictDrop {
+				ipOK = false
+			}
+		}
+		res.Allowed[MechIPBlocklist][key] = ipOK
+
+		on, err := tbBP.Apps[0].Invoke(fn.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Allowed[MechBorderPatrol][key] = delivered(tbBP, on.Packets) == len(on.Packets) && len(on.Packets) > 0
+	}
+	res.Notes = append(res.Notes,
+		"Login and analytics share graph.facebook.com: blocking the IP breaks Login with Facebook.",
+		"BorderPatrol distinguishes the two flows by the SDK method on the stack.",
+	)
+	return res, nil
+}
+
+func delivered(tb *Testbed, pkts []*ipv4.Packet) int {
+	n := 0
+	for _, p := range pkts {
+		if tb.Network.Deliver(p).Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the comparison table.
+func (r *CaseStudyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case study — %s\n", r.Name)
+	mechs := []string{MechNone, MechIPBlocklist, MechFlowThreshold, MechBorderPatrol}
+	header := fmt.Sprintf("%-44s %-8s", "functionality", "desired")
+	for _, m := range mechs {
+		if _, ok := r.Allowed[m]; ok {
+			header += fmt.Sprintf(" %-16s", m)
+		}
+	}
+	b.WriteString(header + "\n")
+	for _, f := range r.Functionalities {
+		row := fmt.Sprintf("%-44s %-8v", f, r.Desired[f])
+		for _, m := range mechs {
+			if tbl, ok := r.Allowed[m]; ok {
+				status := "BLOCKED"
+				if tbl[f] {
+					status = "allowed"
+				}
+				row += fmt.Sprintf(" %-16s", status)
+			}
+		}
+		b.WriteString(row + "\n")
+	}
+	if len(r.ExtractedRules) > 0 {
+		b.WriteString("extracted rules:\n")
+		for _, rule := range r.ExtractedRules {
+			fmt.Fprintf(&b, "  %s\n", rule)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Precise reports whether BorderPatrol blocked exactly the undesired
+// functionality: every desired row allowed, every undesired row blocked.
+func (r *CaseStudyResult) Precise() bool {
+	tbl, ok := r.Allowed[MechBorderPatrol]
+	if !ok {
+		return false
+	}
+	for _, f := range r.Functionalities {
+		if r.Desired[f] != tbl[f] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+// Package experiments contains one reproduction harness per table and
+// figure in the paper's evaluation (§VI) plus the discussion's empirical
+// claims (§VII). Each experiment assembles the full system — provisioned
+// device, Context Manager, gateway with Policy Enforcer and Packet
+// Sanitizer, simulated enterprise network — runs the paper's workload, and
+// returns a typed result with a paper-style textual rendering.
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/android"
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/netsim"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
+)
+
+// Testbed is a fully assembled BorderPatrol deployment.
+type Testbed struct {
+	Device   *android.Device
+	Manager  *contextmgr.Manager
+	DB       *analyzer.Database
+	Engine   *policy.Engine
+	Enforcer *enforcer.Enforcer
+	Network  *netsim.Network
+	// Apps are the installed corpus apps in install order.
+	Apps []*android.App
+	// Corpus preserves the generator metadata per installed app.
+	Corpus []*apkgen.App
+}
+
+// TestbedConfig assembles a deployment.
+type TestbedConfig struct {
+	// Rules is the initial policy (may be nil).
+	Rules []policy.Rule
+	// DefaultVerdict is the engine default (VerdictAllow for observation
+	// phases, VerdictDrop for whitelist postures).
+	DefaultVerdict policy.Verdict
+	// EnforcementOn wires the Policy Enforcer into the gateway; when false
+	// the gateway only sanitizes (observation / baseline runs).
+	EnforcementOn bool
+	// AllowUntagged admits untagged packets at the enforcer.
+	AllowUntagged bool
+	// NIC selects the emulator network mode (TAP for the paper's testbed).
+	NIC netsim.NICMode
+}
+
+// NewTestbed provisions a device, loads the Context Manager, analyzes and
+// installs every corpus app, and stands up the gateway and network with one
+// server per endpoint the corpus references.
+func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
+	device := android.NewDevice(android.Config{
+		Addr:            netip.MustParseAddr("10.66.0.2"),
+		Kernel:          kernel.Config{AllowUnprivilegedIPOptions: true, SetOptionsOncePerSocket: true},
+		XposedInstalled: true,
+	})
+	manager := contextmgr.New(device)
+	if err := device.LoadModule(manager); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	db := analyzer.NewDatabase()
+	defV := cfg.DefaultVerdict
+	if defV == 0 {
+		defV = policy.VerdictAllow
+	}
+	engine, err := policy.NewEngine(cfg.Rules, defV)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	tb := &Testbed{
+		Device: device, Manager: manager, DB: db, Engine: engine,
+		Corpus: corpus,
+	}
+
+	nic := cfg.NIC
+	if nic == 0 {
+		nic = netsim.ModeTAP
+	}
+	tb.Network = netsim.NewNetwork(nic, netsim.DefaultLatencyModel())
+	gwCfg := netsim.GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})}
+	if cfg.EnforcementOn {
+		tb.Enforcer = enforcer.New(enforcer.Config{AllowUntagged: cfg.AllowUntagged}, db, engine)
+		gwCfg.Enforcer = tb.Enforcer
+	}
+	tb.Network.Gateway = netsim.NewGateway(gwCfg)
+
+	seenEndpoints := make(map[netip.Addr]struct{})
+	for _, ga := range corpus {
+		if err := db.Add(ga.APK); err != nil {
+			return nil, fmt.Errorf("experiments: analyze %s: %w", ga.APK.PackageName, err)
+		}
+		app, err := device.InstallApp(ga.APK, ga.Functionalities, android.ProfileWork)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: install %s: %w", ga.APK.PackageName, err)
+		}
+		tb.Apps = append(tb.Apps, app)
+		for _, f := range ga.Functionalities {
+			addr := f.Op.Endpoint.Addr()
+			if _, ok := seenEndpoints[addr]; ok {
+				continue
+			}
+			seenEndpoints[addr] = struct{}{}
+			tb.Network.AddServer(&netsim.Server{
+				Addr:    addr,
+				Name:    f.Op.Host,
+				Handler: httpsim.StaticHandler(httpsim.StaticPage()),
+			})
+		}
+	}
+	return tb, nil
+}
+
+// DeliverAll pushes a batch of packets through the network, returning how
+// many were delivered and how many dropped.
+func (tb *Testbed) DeliverAll(pkts []*ipv4.Packet) (delivered, dropped int) {
+	for _, p := range pkts {
+		d := tb.Network.Deliver(p)
+		if d.Delivered {
+			delivered++
+		} else {
+			dropped++
+		}
+	}
+	return delivered, dropped
+}

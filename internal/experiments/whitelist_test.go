@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWhitelistPosture(t *testing.T) {
+	res, err := RunWhitelist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VettedRules == 0 {
+		t.Fatal("vetting produced no rules")
+	}
+	// Vetted functionality must keep working under default-drop.
+	if res.VettedAllowed != res.VettedTotal || res.VettedTotal == 0 {
+		t.Fatalf("vetted: %d/%d delivered", res.VettedAllowed, res.VettedTotal)
+	}
+	// The unvetted chat-attachment path must be blocked by the default.
+	if res.UnvettedBlocked != res.UnvettedTotal || res.UnvettedTotal == 0 {
+		t.Fatalf("unvetted: %d/%d blocked", res.UnvettedBlocked, res.UnvettedTotal)
+	}
+	// The repackaged clone is blocked with the unknown-app cause: its hash
+	// was never analyzed, so its tags cannot decode.
+	if !res.RepackagedBlocked {
+		t.Fatal("repackaged app traffic escaped")
+	}
+	if res.RepackagedCause != "unknown-app" {
+		t.Fatalf("repackaged cause = %q, want unknown-app", res.RepackagedCause)
+	}
+	out := res.Format()
+	for _, want := range []string{"Whitelisting", "repackaged app blocked: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q", want)
+		}
+	}
+}

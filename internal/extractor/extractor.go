@@ -1,0 +1,114 @@
+// Package extractor implements BorderPatrol's Policy Extractor (paper
+// §V-E): the analysis tool that helps IT administrators derive policies.
+// The administrator exercises an app twice — first driving only allowed
+// functionality (the baseline profile), then driving the undesirable
+// functionality. The extractor diffs the method signatures observed in the
+// two runs' stack traces and emits deny rules, at the requested enforcement
+// level, for the signatures unique to the second run.
+package extractor
+
+import (
+	"fmt"
+	"sort"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/tag"
+)
+
+// Profile is the set of method signatures observed in one guided run.
+type Profile struct {
+	// Signatures maps canonical signature strings to occurrence counts.
+	Signatures map[string]int
+	// Packets is how many tagged packets contributed.
+	Packets int
+}
+
+// BuildProfile decodes every tagged packet in a capture into its stack
+// signatures.
+func BuildProfile(packets []*ipv4.Packet, db *analyzer.Database) (*Profile, error) {
+	p := &Profile{Signatures: make(map[string]int)}
+	for _, pkt := range packets {
+		opt, ok := pkt.Header.FindOption(ipv4.OptSecurity)
+		if !ok {
+			continue
+		}
+		decoded, err := tag.Decode(opt.Data)
+		if err != nil {
+			continue
+		}
+		sigs, err := db.DecodeStack(decoded.AppHash, decoded.Indexes)
+		if err != nil {
+			continue
+		}
+		p.Packets++
+		for _, s := range sigs {
+			p.Signatures[s.String()]++
+		}
+	}
+	return p, nil
+}
+
+// Diff returns the canonical signatures present in undesired but absent
+// from baseline, sorted for determinism.
+func Diff(baseline, undesired *Profile) []string {
+	var unique []string
+	for sig := range undesired.Signatures {
+		if _, inBase := baseline.Signatures[sig]; !inBase {
+			unique = append(unique, sig)
+		}
+	}
+	sort.Strings(unique)
+	return unique
+}
+
+// ExtractRules converts the unique signatures of the undesired run into
+// deny rules at the requested level. Method-level rules target the exact
+// signatures; class- and library-level rules collapse to the distinct
+// class paths / packages involved.
+func ExtractRules(baseline, undesired *Profile, level policy.Level) ([]policy.Rule, error) {
+	unique := Diff(baseline, undesired)
+	switch level {
+	case policy.LevelMethod:
+		rules := make([]policy.Rule, 0, len(unique))
+		for _, raw := range unique {
+			r := policy.Rule{Action: policy.Deny, Level: policy.LevelMethod, Target: raw}
+			if err := r.Validate(); err != nil {
+				return nil, fmt.Errorf("extractor: %w", err)
+			}
+			rules = append(rules, r)
+		}
+		return rules, nil
+	case policy.LevelClass, policy.LevelLibrary:
+		targets := make(map[string]struct{})
+		for _, raw := range unique {
+			sig, err := dex.ParseSignature(raw)
+			if err != nil {
+				return nil, fmt.Errorf("extractor: %w", err)
+			}
+			if level == policy.LevelClass {
+				targets[sig.ClassPath()] = struct{}{}
+			} else {
+				targets[sig.Package] = struct{}{}
+			}
+		}
+		sorted := make([]string, 0, len(targets))
+		for t := range targets {
+			sorted = append(sorted, t)
+		}
+		sort.Strings(sorted)
+		rules := make([]policy.Rule, 0, len(sorted))
+		for _, t := range sorted {
+			r := policy.Rule{Action: policy.Deny, Level: level, Target: t}
+			if err := r.Validate(); err != nil {
+				return nil, fmt.Errorf("extractor: %w", err)
+			}
+			rules = append(rules, r)
+		}
+		return rules, nil
+	default:
+		return nil, fmt.Errorf("extractor: unsupported extraction level %s", level)
+	}
+}

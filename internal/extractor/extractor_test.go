@@ -1,0 +1,182 @@
+package extractor
+
+import (
+	"net/netip"
+	"testing"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/tag"
+)
+
+func fixture(t *testing.T) (*dex.APK, *analyzer.Database) {
+	t.Helper()
+	apk := &dex.APK{
+		PackageName: "com.corp.files",
+		VersionCode: 1,
+		Dexes: []*dex.File{{Classes: []dex.ClassDef{
+			{Package: "com/corp/files", Name: "SyncEngine", Methods: []dex.MethodDef{
+				{Name: "download", Proto: "()V", File: "S.java", StartLine: 1, EndLine: 10},
+				{Name: "upload", Proto: "()V", File: "S.java", StartLine: 20, EndLine: 30},
+				{Name: "login", Proto: "()V", File: "S.java", StartLine: 40, EndLine: 50},
+			}},
+		}}},
+	}
+	db := analyzer.NewDatabase()
+	if err := db.Add(apk); err != nil {
+		t.Fatal(err)
+	}
+	return apk, db
+}
+
+func mkPkt(t *testing.T, apk *dex.APK, db *analyzer.Database, methods ...string) *ipv4.Packet {
+	t.Helper()
+	entry, _ := db.LookupTruncated(apk.Truncated())
+	var indexes []uint32
+	for _, m := range methods {
+		for i, raw := range entry.Signatures {
+			sig, _ := dex.ParseSignature(raw)
+			if sig.Name == m {
+				indexes = append(indexes, uint32(i))
+			}
+		}
+	}
+	if len(indexes) != len(methods) {
+		t.Fatalf("index lookup failed for %v", methods)
+	}
+	tg := tag.Tag{AppHash: apk.Truncated(), Indexes: indexes}
+	data, err := tg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ipv4.Packet{Header: ipv4.Header{
+		TTL: 64, Protocol: ipv4.ProtoTCP,
+		Src: netip.MustParseAddr("10.0.0.5"),
+		Dst: netip.MustParseAddr("162.125.4.1"),
+	}}
+	p.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: data})
+	return p
+}
+
+func TestTwoRunDifferentialExtraction(t *testing.T) {
+	apk, db := fixture(t)
+	// Run 1: administrator exercises allowed functionality.
+	base, err := BuildProfile([]*ipv4.Packet{
+		mkPkt(t, apk, db, "login"),
+		mkPkt(t, apk, db, "download"),
+		mkPkt(t, apk, db, "login", "download"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run 2: administrator invokes the undesirable upload.
+	bad, err := BuildProfile([]*ipv4.Packet{
+		mkPkt(t, apk, db, "login"), // login appears in both runs
+		mkPkt(t, apk, db, "upload"),
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Packets != 3 || bad.Packets != 2 {
+		t.Fatalf("profile packet counts: %d/%d", base.Packets, bad.Packets)
+	}
+
+	unique := Diff(base, bad)
+	if len(unique) != 1 {
+		t.Fatalf("diff = %v, want only upload", unique)
+	}
+	sig, err := dex.ParseSignature(unique[0])
+	if err != nil || sig.Name != "upload" {
+		t.Fatalf("unique = %v", unique)
+	}
+
+	rules, err := ExtractRules(base, bad, policy.LevelMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Action != policy.Deny || rules[0].Level != policy.LevelMethod {
+		t.Fatalf("rules = %v", rules)
+	}
+
+	// The extracted policy does what the administrator wanted: drops upload
+	// packets, keeps login and download.
+	eng, err := policy.NewEngine(rules, policy.VerdictAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enfSig := func(name string) []dex.Signature {
+		s, _ := dex.ParseSignature("Lcom/corp/files/SyncEngine;->" + name + "()V")
+		return []dex.Signature{s}
+	}
+	if d := eng.Evaluate(apk.Truncated(), enfSig("upload")); d.Verdict != policy.VerdictDrop {
+		t.Fatal("extracted rule does not drop upload")
+	}
+	if d := eng.Evaluate(apk.Truncated(), enfSig("download")); d.Verdict != policy.VerdictAllow {
+		t.Fatal("extracted rule drops download")
+	}
+}
+
+func TestExtractClassAndLibraryLevels(t *testing.T) {
+	apk, db := fixture(t)
+	base, _ := BuildProfile(nil, db)
+	bad, err := BuildProfile([]*ipv4.Packet{mkPkt(t, apk, db, "upload", "download")}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classRules, err := ExtractRules(base, bad, policy.LevelClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classRules) != 1 || classRules[0].Target != "com/corp/files/SyncEngine" {
+		t.Fatalf("class rules = %v", classRules)
+	}
+	libRules, err := ExtractRules(base, bad, policy.LevelLibrary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(libRules) != 1 || libRules[0].Target != "com/corp/files" {
+		t.Fatalf("library rules = %v", libRules)
+	}
+}
+
+func TestExtractUnsupportedLevel(t *testing.T) {
+	apk, db := fixture(t)
+	base, _ := BuildProfile(nil, db)
+	bad, _ := BuildProfile([]*ipv4.Packet{mkPkt(t, apk, db, "upload")}, db)
+	if _, err := ExtractRules(base, bad, policy.LevelHash); err == nil {
+		t.Fatal("hash-level extraction accepted")
+	}
+}
+
+func TestProfileSkipsUndecodable(t *testing.T) {
+	_, db := fixture(t)
+	plain := &ipv4.Packet{Header: ipv4.Header{
+		TTL: 64, Protocol: ipv4.ProtoTCP,
+		Src: netip.MustParseAddr("10.0.0.5"),
+		Dst: netip.MustParseAddr("1.1.1.1"),
+	}}
+	p, err := BuildProfile([]*ipv4.Packet{plain}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Packets != 0 || len(p.Signatures) != 0 {
+		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestEmptyDiffYieldsNoRules(t *testing.T) {
+	apk, db := fixture(t)
+	same, err := BuildProfile([]*ipv4.Packet{mkPkt(t, apk, db, "login")}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := ExtractRules(same, same, policy.LevelMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("identical profiles produced rules: %v", rules)
+	}
+}

@@ -1,0 +1,225 @@
+// Package httpsim implements a minimal HTTP/1.1-style request/response
+// wire format over simulated socket payloads. It supports exactly what the
+// paper's workloads need: GET for downloads and the 297-byte static page of
+// the stress test (§VI-D), PUT/POST for uploads, keep-alive connections for
+// the amortization argument, and content sizing for the flow-size analysis
+// (§VII).
+package httpsim
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method    string
+	Path      string
+	Host      string
+	KeepAlive bool
+	Body      []byte
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status    int
+	KeepAlive bool
+	Body      []byte
+}
+
+// Errors produced by parsing.
+var (
+	ErrMalformed = errors.New("httpsim: malformed message")
+)
+
+// MarshalRequest renders the request in HTTP/1.1 wire form.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	if r.Host != "" {
+		fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	}
+	if r.KeepAlive {
+		b.WriteString("Connection: keep-alive\r\n")
+	} else {
+		b.WriteString("Connection: close\r\n")
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// ParseRequest parses a request from wire form.
+func ParseRequest(data []byte) (*Request, error) {
+	rd := bufio.NewReader(bytes.NewReader(data))
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: request line: %v", ErrMalformed, err)
+	}
+	parts := strings.Fields(strings.TrimSpace(line))
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1]}
+	clen, keep, err := parseHeaders(rd)
+	if err != nil {
+		return nil, err
+	}
+	req.KeepAlive = keep
+	req.Body, err = readBody(rd, clen)
+	if err != nil {
+		return nil, err
+	}
+	req.Host = hostFromHeaders(data)
+	return req, nil
+}
+
+func hostFromHeaders(data []byte) string {
+	for _, line := range strings.Split(string(data), "\r\n") {
+		if strings.HasPrefix(strings.ToLower(line), "host:") {
+			return strings.TrimSpace(line[len("host:"):])
+		}
+		if line == "" {
+			break
+		}
+	}
+	return ""
+}
+
+// Marshal renders the response in HTTP/1.1 wire form.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, statusText(r.Status))
+	if r.KeepAlive {
+		b.WriteString("Connection: keep-alive\r\n")
+	} else {
+		b.WriteString("Connection: close\r\n")
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// ParseResponse parses a response from wire form.
+func ParseResponse(data []byte) (*Response, error) {
+	rd := bufio.NewReader(bytes.NewReader(data))
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: status line: %v", ErrMalformed, err)
+	}
+	parts := strings.Fields(strings.TrimSpace(line))
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Status: status}
+	clen, keep, err := parseHeaders(rd)
+	if err != nil {
+		return nil, err
+	}
+	resp.KeepAlive = keep
+	resp.Body, err = readBody(rd, clen)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func parseHeaders(rd *bufio.Reader) (contentLen int, keepAlive bool, err error) {
+	contentLen = -1
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return 0, false, fmt.Errorf("%w: headers: %v", ErrMalformed, err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return 0, false, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "content-length":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, false, fmt.Errorf("%w: content-length %q", ErrMalformed, val)
+			}
+			contentLen = n
+		case "connection":
+			keepAlive = strings.EqualFold(val, "keep-alive")
+		}
+	}
+	if contentLen < 0 {
+		contentLen = 0
+	}
+	return contentLen, keepAlive, nil
+}
+
+func readBody(rd *bufio.Reader, n int) ([]byte, error) {
+	body := make([]byte, n)
+	if _, err := io.ReadFull(rd, body); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrMalformed, err)
+	}
+	return body, nil
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 201:
+		return "Created"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	default:
+		return "Status"
+	}
+}
+
+// StaticPageSize is the size of the stress-test page: the paper serves a
+// static 297-byte HTML page from a local server (§VI-D).
+const StaticPageSize = 297
+
+// StaticPage returns the deterministic 297-byte HTML document used by the
+// Fig. 4 stress test.
+func StaticPage() []byte {
+	const prefix = "<!DOCTYPE html><html><head><title>bp-stress</title></head><body><p>"
+	const suffix = "</p></body></html>"
+	fill := StaticPageSize - len(prefix) - len(suffix)
+	var b bytes.Buffer
+	b.Grow(StaticPageSize)
+	b.WriteString(prefix)
+	for i := 0; i < fill; i++ {
+		b.WriteByte(byte('a' + i%26))
+	}
+	b.WriteString(suffix)
+	return b.Bytes()
+}
+
+// Handler produces a response for a request (server-side application
+// logic).
+type Handler func(req *Request) *Response
+
+// StaticHandler always serves the given body with 200 OK, honouring the
+// request's keep-alive preference.
+func StaticHandler(body []byte) Handler {
+	return func(req *Request) *Response {
+		return &Response{Status: 200, KeepAlive: req.KeepAlive, Body: body}
+	}
+}

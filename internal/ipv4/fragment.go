@@ -1,0 +1,142 @@
+package ipv4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fragmentation per RFC 791 §2.3/§3.2. BorderPatrol's context tag uses the
+// security option slot (type 130) precisely because its copied flag is set:
+// when a router fragments a tagged packet, every fragment keeps the tag, so
+// the Policy Enforcer can decide each fragment independently. Options
+// without the copied flag appear only in the first fragment.
+
+// Header flag bits (in the 3-bit Flags field).
+const (
+	// FlagDF forbids fragmentation.
+	FlagDF = 0x2
+	// FlagMF marks all fragments except the last.
+	FlagMF = 0x1
+)
+
+// ErrFragmentDF reports an attempt to fragment a DF packet.
+var ErrFragmentDF = fmt.Errorf("ipv4: fragmentation needed but DF set")
+
+// Fragment splits a packet into fragments whose total length does not
+// exceed mtu. Copied options are replicated into every fragment; non-copied
+// options ride only in the first. Fragment offsets are in 8-byte units as
+// on the wire.
+func Fragment(p *Packet, mtu int) ([]*Packet, error) {
+	hlenFull, err := p.Header.HeaderLen()
+	if err != nil {
+		return nil, err
+	}
+	wire, err := p.WireLen()
+	if err != nil {
+		return nil, err
+	}
+	if wire <= mtu {
+		return []*Packet{p.Clone()}, nil
+	}
+	if p.Header.Flags&FlagDF != 0 {
+		return nil, fmt.Errorf("%w: packet %d bytes, mtu %d", ErrFragmentDF, wire, mtu)
+	}
+
+	// Header for subsequent fragments: copied options only.
+	var copiedOpts []Option
+	for _, o := range p.Header.Options {
+		if o.Copied() {
+			copiedOpts = append(copiedOpts, Option{Type: o.Type, Data: append([]byte(nil), o.Data...)})
+		}
+	}
+	subHdr := p.Header
+	subHdr.Options = copiedOpts
+	hlenSub, err := subHdr.HeaderLen()
+	if err != nil {
+		return nil, err
+	}
+
+	// Payload budget per fragment, rounded down to 8-byte units (except
+	// the last fragment).
+	firstBudget := (mtu - hlenFull) &^ 7
+	subBudget := (mtu - hlenSub) &^ 7
+	if firstBudget <= 0 || subBudget <= 0 {
+		return nil, fmt.Errorf("ipv4: mtu %d too small for headers", mtu)
+	}
+
+	var frags []*Packet
+	off := 0
+	for off < len(p.Payload) {
+		first := off == 0
+		budget := subBudget
+		hdr := subHdr
+		if first {
+			budget = firstBudget
+			hdr = p.Header
+			hdr.Options = make([]Option, len(p.Header.Options))
+			for i, o := range p.Header.Options {
+				hdr.Options[i] = Option{Type: o.Type, Data: append([]byte(nil), o.Data...)}
+			}
+		} else {
+			hdr.Options = make([]Option, len(copiedOpts))
+			for i, o := range copiedOpts {
+				hdr.Options[i] = Option{Type: o.Type, Data: append([]byte(nil), o.Data...)}
+			}
+		}
+		end := off + budget
+		last := false
+		if end >= len(p.Payload) {
+			end = len(p.Payload)
+			last = true
+		}
+		hdr.FragOff = uint16(off / 8)
+		if last {
+			hdr.Flags = p.Header.Flags &^ FlagMF
+		} else {
+			hdr.Flags = p.Header.Flags | FlagMF
+		}
+		frags = append(frags, &Packet{
+			Header:  hdr,
+			Payload: append([]byte(nil), p.Payload[off:end]...),
+		})
+		off = end
+	}
+	return frags, nil
+}
+
+// Reassemble reconstructs the original packet from its fragments (any
+// order). It validates contiguity and the MF chain.
+func Reassemble(frags []*Packet) (*Packet, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("ipv4: no fragments")
+	}
+	sorted := append([]*Packet(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Header.FragOff < sorted[j].Header.FragOff
+	})
+	first := sorted[0]
+	if first.Header.FragOff != 0 {
+		return nil, fmt.Errorf("ipv4: missing first fragment")
+	}
+	out := first.Clone()
+	expected := len(first.Payload)
+	for i := 1; i < len(sorted); i++ {
+		f := sorted[i]
+		if f.Header.ID != first.Header.ID || f.Header.Src != first.Header.Src ||
+			f.Header.Dst != first.Header.Dst || f.Header.Protocol != first.Header.Protocol {
+			return nil, fmt.Errorf("ipv4: fragment %d belongs to a different datagram", i)
+		}
+		if int(f.Header.FragOff)*8 != expected {
+			return nil, fmt.Errorf("ipv4: gap before offset %d (expected %d bytes)", f.Header.FragOff, expected)
+		}
+		out.Payload = append(out.Payload, f.Payload...)
+		expected += len(f.Payload)
+	}
+	last := sorted[len(sorted)-1]
+	if last.Header.Flags&FlagMF != 0 {
+		return nil, fmt.Errorf("ipv4: missing last fragment (MF still set)")
+	}
+	out.Header.Flags &^= FlagMF
+	out.Header.FragOff = 0
+	return out, nil
+}

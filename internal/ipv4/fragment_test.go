@@ -1,0 +1,182 @@
+package ipv4
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func fragSample(payloadLen int) *Packet {
+	p := &Packet{
+		Header: Header{
+			ID:       777,
+			TTL:      64,
+			Protocol: ProtoTCP,
+			Src:      netip.AddrFrom4([4]byte{10, 0, 0, 5}),
+			Dst:      netip.AddrFrom4([4]byte{198, 18, 0, 1}),
+		},
+		Payload: make([]byte, payloadLen),
+	}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i)
+	}
+	return p
+}
+
+func TestFragmentSmallPacketPassthrough(t *testing.T) {
+	p := fragSample(100)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("got %d fragments", len(frags))
+	}
+	if frags[0] == p {
+		t.Fatal("passthrough must clone")
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	p := fragSample(4000)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("got %d fragments for 4000B at mtu 1500", len(frags))
+	}
+	// All but the last carry MF; every fragment fits the MTU.
+	for i, f := range frags {
+		wire, err := f.WireLen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wire > 1500 {
+			t.Fatalf("fragment %d is %d bytes", i, wire)
+		}
+		mf := f.Header.Flags&FlagMF != 0
+		if i < len(frags)-1 && !mf {
+			t.Fatalf("fragment %d missing MF", i)
+		}
+		if i == len(frags)-1 && mf {
+			t.Fatal("last fragment has MF set")
+		}
+	}
+	back, err := Reassemble(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Payload, p.Payload) {
+		t.Fatal("payload corrupted by fragmentation round trip")
+	}
+}
+
+func TestCopiedOptionInEveryFragment(t *testing.T) {
+	// The BorderPatrol tag (security option, copied flag set) must ride in
+	// every fragment so each can be enforced independently.
+	p := fragSample(4000)
+	tagData := []byte{0x10, 1, 2, 3, 4, 5, 6, 7, 8, 0, 42}
+	p.Header.SetOption(Option{Type: OptSecurity, Data: tagData})
+	// A non-copied option (timestamp, type 68, copy bit clear) rides only
+	// in the first fragment.
+	p.Header.SetOption(Option{Type: OptTimestamp, Data: []byte{1, 2, 3, 4, 5, 6}})
+
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frags {
+		opt, ok := f.Header.FindOption(OptSecurity)
+		if !ok {
+			t.Fatalf("fragment %d lost the security option", i)
+		}
+		if !bytes.Equal(opt.Data, tagData) {
+			t.Fatalf("fragment %d tag corrupted", i)
+		}
+		_, hasTS := f.Header.FindOption(OptTimestamp)
+		if i == 0 && !hasTS {
+			t.Fatal("first fragment lost the timestamp option")
+		}
+		if i > 0 && hasTS {
+			t.Fatalf("fragment %d carries non-copied option", i)
+		}
+	}
+}
+
+func TestFragmentDFRejected(t *testing.T) {
+	p := fragSample(4000)
+	p.Header.Flags |= FlagDF
+	if _, err := Fragment(p, 1500); !errors.Is(err, ErrFragmentDF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentTinyMTU(t *testing.T) {
+	p := fragSample(100)
+	if _, err := Fragment(p, 20); err == nil {
+		t.Fatal("mtu smaller than header accepted")
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	if _, err := Reassemble(nil); err == nil {
+		t.Error("empty fragment list accepted")
+	}
+	p := fragSample(4000)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing first fragment.
+	if _, err := Reassemble(frags[1:]); err == nil {
+		t.Error("missing first fragment accepted")
+	}
+	// Missing middle fragment.
+	holey := []*Packet{frags[0], frags[2]}
+	if _, err := Reassemble(holey); err == nil {
+		t.Error("gap accepted")
+	}
+	// Missing last fragment.
+	if _, err := Reassemble(frags[:len(frags)-1]); err == nil {
+		t.Error("missing last fragment accepted")
+	}
+	// Foreign fragment mixed in.
+	other := fragSample(4000)
+	other.Header.ID = 999
+	otherFrags, _ := Fragment(other, 1500)
+	mixed := []*Packet{frags[0], otherFrags[1]}
+	if _, err := Reassemble(mixed); err == nil {
+		t.Error("foreign fragment accepted")
+	}
+}
+
+func TestFragmentRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := fragSample(64 + r.Intn(8000))
+		if r.Intn(2) == 1 {
+			data := make([]byte, 4+r.Intn(20))
+			r.Read(data)
+			p.Header.SetOption(Option{Type: OptSecurity, Data: data})
+		}
+		mtu := 576 + r.Intn(1000)
+		frags, err := Fragment(p, mtu)
+		if err != nil {
+			return false
+		}
+		// Shuffle before reassembly.
+		r.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		back, err := Reassemble(frags)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

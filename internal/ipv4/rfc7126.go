@@ -1,0 +1,40 @@
+package ipv4
+
+// RFC 7126 recommends that border routers drop or strip IPv4 packets
+// carrying header options; network-appliance vendors recommend the same to
+// close reconnaissance vectors. This is exactly why BorderPatrol needs the
+// Packet Sanitizer: tagged packets must be cleansed before they leave the
+// corporate perimeter or upstream routers will discard them (paper §IV-A4).
+
+// BorderFilterAction is what an RFC 7126-compliant border router does with
+// a packet carrying IP options.
+type BorderFilterAction int
+
+// Border filter outcomes.
+const (
+	// BorderForward passes the packet untouched (no options present).
+	BorderForward BorderFilterAction = iota + 1
+	// BorderDrop discards the packet (options present).
+	BorderDrop
+)
+
+// String names the action.
+func (a BorderFilterAction) String() string {
+	switch a {
+	case BorderForward:
+		return "forward"
+	case BorderDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// BorderFilter models the strict RFC 7126 posture the paper assumes for
+// the public Internet: any surviving IP option causes a drop.
+func BorderFilter(p *Packet) BorderFilterAction {
+	if p.Header.HasOptions() {
+		return BorderDrop
+	}
+	return BorderForward
+}

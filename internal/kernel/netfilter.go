@@ -1,0 +1,207 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"borderpatrol/internal/ipv4"
+)
+
+// Verdict is an NFQUEUE verdict for a packet.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictAccept lets the packet continue chain traversal.
+	VerdictAccept Verdict = iota + 1
+	// VerdictDrop discards the packet.
+	VerdictDrop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "NF_ACCEPT"
+	case VerdictDrop:
+		return "NF_DROP"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Chain identifies a netfilter chain the simulator models.
+type Chain int
+
+// Chains traversed by locally-generated traffic.
+const (
+	// ChainOutput sees every locally generated packet first.
+	ChainOutput Chain = iota + 1
+	// ChainPostrouting sees packets just before they hit the wire.
+	ChainPostrouting
+)
+
+// String names the chain in iptables convention.
+func (c Chain) String() string {
+	switch c {
+	case ChainOutput:
+		return "OUTPUT"
+	case ChainPostrouting:
+		return "POSTROUTING"
+	default:
+		return fmt.Sprintf("chain(%d)", int(c))
+	}
+}
+
+// QueueHandler is a user-space NFQUEUE consumer: it receives each queued
+// packet and must return a verdict, optionally rewriting the packet (the
+// Policy Enforcer accepts/drops; the Packet Sanitizer mangles).
+type QueueHandler func(pkt *ipv4.Packet) (Verdict, *ipv4.Packet)
+
+// RuleTarget is what an iptables rule does on match.
+type RuleTarget int
+
+// Rule targets.
+const (
+	// TargetAccept accepts immediately.
+	TargetAccept RuleTarget = iota + 1
+	// TargetDrop drops immediately.
+	TargetDrop
+	// TargetQueue diverts to an NFQUEUE by number.
+	TargetQueue
+)
+
+// Rule is a simplified iptables rule: an optional match plus a target.
+type Rule struct {
+	// Match returns whether the rule applies; nil matches everything.
+	Match func(pkt *ipv4.Packet) bool
+	// Target is the action on match.
+	Target RuleTarget
+	// QueueNum selects the NFQUEUE for TargetQueue.
+	QueueNum int
+	// Comment is operator documentation, as in iptables -m comment.
+	Comment string
+}
+
+// Netfilter models the kernel's packet-filter hooks.
+type Netfilter struct {
+	mu       sync.RWMutex
+	chains   map[Chain][]Rule
+	queues   map[int]QueueHandler
+	accepted uint64
+	dropped  uint64
+	queuedOK uint64
+}
+
+// ErrNoQueueHandler reports a rule diverting to an unregistered queue; the
+// real kernel drops packets queued to a dead NFQUEUE, and so do we.
+var ErrNoQueueHandler = errors.New("kernel: NFQUEUE has no user-space handler")
+
+// NewNetfilter builds an empty rule table (policy ACCEPT on all chains).
+func NewNetfilter() *Netfilter {
+	return &Netfilter{
+		chains: make(map[Chain][]Rule),
+		queues: make(map[int]QueueHandler),
+	}
+}
+
+// Append adds a rule at the end of a chain (iptables -A).
+func (nf *Netfilter) Append(chain Chain, rule Rule) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.chains[chain] = append(nf.chains[chain], rule)
+}
+
+// Flush removes all rules from a chain (iptables -F).
+func (nf *Netfilter) Flush(chain Chain) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	delete(nf.chains, chain)
+}
+
+// RegisterQueue binds a user-space handler to an NFQUEUE number.
+func (nf *Netfilter) RegisterQueue(num int, h QueueHandler) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.queues[num] = h
+}
+
+// UnregisterQueue detaches a queue handler (user-space program exited).
+func (nf *Netfilter) UnregisterQueue(num int) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	delete(nf.queues, num)
+}
+
+// Output runs a packet through OUTPUT then POSTROUTING, as the kernel does
+// for locally generated traffic. It returns the (possibly rewritten)
+// packet, or nil if any rule or queue handler dropped it.
+func (nf *Netfilter) Output(pkt *ipv4.Packet) (*ipv4.Packet, error) {
+	out, err := nf.traverse(ChainOutput, pkt)
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return nf.traverse(ChainPostrouting, out)
+}
+
+func (nf *Netfilter) traverse(chain Chain, pkt *ipv4.Packet) (*ipv4.Packet, error) {
+	nf.mu.RLock()
+	rules := nf.chains[chain]
+	nf.mu.RUnlock()
+	cur := pkt
+	for i := range rules {
+		r := &rules[i]
+		if r.Match != nil && !r.Match(cur) {
+			continue
+		}
+		switch r.Target {
+		case TargetAccept:
+			nf.count(&nf.accepted)
+			return cur, nil
+		case TargetDrop:
+			nf.count(&nf.dropped)
+			return nil, nil
+		case TargetQueue:
+			nf.mu.RLock()
+			h := nf.queues[r.QueueNum]
+			nf.mu.RUnlock()
+			if h == nil {
+				nf.count(&nf.dropped)
+				return nil, fmt.Errorf("%w: queue %d", ErrNoQueueHandler, r.QueueNum)
+			}
+			verdict, rewritten := h(cur)
+			if verdict == VerdictDrop {
+				nf.count(&nf.dropped)
+				return nil, nil
+			}
+			nf.count(&nf.queuedOK)
+			if rewritten != nil {
+				cur = rewritten
+			}
+		}
+	}
+	// Chain policy is ACCEPT.
+	nf.count(&nf.accepted)
+	return cur, nil
+}
+
+func (nf *Netfilter) count(c *uint64) {
+	nf.mu.Lock()
+	*c++
+	nf.mu.Unlock()
+}
+
+// FilterStats reports packet-verdict counters.
+type FilterStats struct {
+	Accepted uint64
+	Dropped  uint64
+	Queued   uint64
+}
+
+// Stats returns a snapshot of verdict counters.
+func (nf *Netfilter) Stats() FilterStats {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	return FilterStats{Accepted: nf.accepted, Dropped: nf.dropped, Queued: nf.queuedOK}
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
+	"sync"
+)
+
+// Gateway is the enterprise-perimeter appliance: a host whose netfilter
+// diverts every packet from BYOD devices into the user-space Policy
+// Enforcer (NFQUEUE 1) and, for surviving packets, the Packet Sanitizer
+// (NFQUEUE 2) — matching the paper's worker-host iptables layout (§VI-A).
+//
+// Process is serialized: the paper's user-space queue consumer (Python
+// netfilterqueue) handles one packet at a time, and the audit trail relies
+// on that ordering.
+type Gateway struct {
+	nf        *kernel.Netfilter
+	enforcer  *enforcer.Enforcer
+	sanitizer *sanitizer.Sanitizer
+	// passthrough models config (iii) of Fig. 4: a reader that consumes
+	// the queue and reinjects packets unmodified.
+	passthrough bool
+
+	mu sync.Mutex
+	// lastResult stores the most recent enforcement result for callers
+	// that need the audit trail; valid only under mu across one Process.
+	lastResult *enforcer.Result
+}
+
+// GatewayConfig assembles a gateway.
+type GatewayConfig struct {
+	// Enforcer enables the Policy Enforcer stage (nil leaves the stage out).
+	Enforcer *enforcer.Enforcer
+	// Sanitizer enables the Packet Sanitizer stage (nil leaves it out).
+	Sanitizer *sanitizer.Sanitizer
+	// Passthrough installs a read-and-reinject queue consumer even with no
+	// enforcer/sanitizer, to measure the bare NFQUEUE cost.
+	Passthrough bool
+}
+
+// NewGateway wires the pipeline onto a fresh netfilter instance.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	g := &Gateway{
+		nf:          kernel.NewNetfilter(),
+		enforcer:    cfg.Enforcer,
+		sanitizer:   cfg.Sanitizer,
+		passthrough: cfg.Passthrough,
+	}
+	switch {
+	case g.enforcer != nil:
+		g.nf.RegisterQueue(1, func(pkt *ipv4.Packet) (kernel.Verdict, *ipv4.Packet) {
+			res := g.enforcer.Process(pkt)
+			g.lastResult = &res
+			if res.Verdict == policy.VerdictDrop {
+				return kernel.VerdictDrop, nil
+			}
+			return kernel.VerdictAccept, nil
+		})
+		g.nf.Append(kernel.ChainOutput, kernel.Rule{
+			Target: kernel.TargetQueue, QueueNum: 1, Comment: "BYOD traffic to Policy Enforcer",
+		})
+	case g.passthrough:
+		g.nf.RegisterQueue(1, func(pkt *ipv4.Packet) (kernel.Verdict, *ipv4.Packet) {
+			return kernel.VerdictAccept, nil
+		})
+		g.nf.Append(kernel.ChainOutput, kernel.Rule{
+			Target: kernel.TargetQueue, QueueNum: 1, Comment: "passthrough reader",
+		})
+	}
+	if g.sanitizer != nil {
+		g.nf.RegisterQueue(2, func(pkt *ipv4.Packet) (kernel.Verdict, *ipv4.Packet) {
+			return kernel.VerdictAccept, g.sanitizer.Process(pkt.Clone())
+		})
+		g.nf.Append(kernel.ChainPostrouting, kernel.Rule{
+			Target: kernel.TargetQueue, QueueNum: 2, Comment: "outbound to Packet Sanitizer",
+		})
+	}
+	return g
+}
+
+// Active reports whether the gateway diverts packets to user space at all
+// (used for latency accounting).
+func (g *Gateway) Active() bool {
+	return g.enforcer != nil || g.sanitizer != nil || g.passthrough
+}
+
+// HasEnforcer reports whether the enforcement stage is present.
+func (g *Gateway) HasEnforcer() bool { return g.enforcer != nil }
+
+// HasSanitizer reports whether the sanitizing stage is present.
+func (g *Gateway) HasSanitizer() bool { return g.sanitizer != nil }
+
+// Process runs one packet through the gateway pipeline. It returns the
+// (possibly rewritten) packet, nil when dropped, and the enforcement result
+// when the enforcer stage ran. Calls are serialized like the single
+// user-space queue reader they model.
+func (g *Gateway) Process(pkt *ipv4.Packet) (*ipv4.Packet, *enforcer.Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lastResult = nil
+	out, err := g.nf.Output(pkt)
+	return out, g.lastResult, err
+}
+
+// Enforcer returns the enforcement stage, if present.
+func (g *Gateway) Enforcer() *enforcer.Enforcer { return g.enforcer }
+
+// Sanitizer returns the sanitizing stage, if present.
+func (g *Gateway) Sanitizer() *sanitizer.Sanitizer { return g.sanitizer }

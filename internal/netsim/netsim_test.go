@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
+	"borderpatrol/internal/tag"
+)
+
+func serverAddr() netip.Addr { return netip.MustParseAddr("93.184.216.34") }
+
+func plainPacket(payload []byte) *ipv4.Packet {
+	return &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL:      64,
+			Protocol: ipv4.ProtoTCP,
+			Src:      netip.MustParseAddr("10.0.0.5"),
+			Dst:      serverAddr(),
+		},
+		Payload: payload,
+	}
+}
+
+func getRequest() []byte {
+	req := &httpsim.Request{Method: "GET", Path: "/", Host: "example"}
+	return req.Marshal()
+}
+
+func newStaticNetwork(nic NICMode, gw *Gateway) *Network {
+	n := NewNetwork(nic, DefaultLatencyModel())
+	n.Gateway = gw
+	n.AddServer(&Server{Addr: serverAddr(), Name: "example", Handler: httpsim.StaticHandler(httpsim.StaticPage())})
+	return n
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * time.Millisecond)
+	c.Advance(-time.Second) // ignored
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestDeliverPlainPacket(t *testing.T) {
+	n := newStaticNetwork(ModeTAP, nil)
+	d := n.Deliver(plainPacket(getRequest()))
+	if !d.Delivered {
+		t.Fatalf("not delivered: %+v", d)
+	}
+	if d.Response == nil || d.Response.Status != 200 {
+		t.Fatalf("response = %+v", d.Response)
+	}
+	if len(d.Response.Body) != httpsim.StaticPageSize {
+		t.Fatalf("body = %d bytes", len(d.Response.Body))
+	}
+	if d.Latency <= 0 {
+		t.Fatal("no latency charged")
+	}
+	srv, _ := n.ServerAt(serverAddr())
+	if srv.Requests() != 1 {
+		t.Fatalf("server requests = %d", srv.Requests())
+	}
+}
+
+func TestSlirpSlowerThanTap(t *testing.T) {
+	slirp := newStaticNetwork(ModeSLIRP, nil)
+	tap := newStaticNetwork(ModeTAP, nil)
+	ds := slirp.Deliver(plainPacket(getRequest()))
+	dt := tap.Deliver(plainPacket(getRequest()))
+	if ds.Latency <= dt.Latency {
+		t.Fatalf("slirp %v must be slower than tap %v", ds.Latency, dt.Latency)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	n := NewNetwork(ModeTAP, DefaultLatencyModel())
+	d := n.Deliver(plainPacket(getRequest()))
+	if d.Delivered || d.Stage != StageNoRoute {
+		t.Fatalf("delivery = %+v", d)
+	}
+}
+
+func TestBorderDropsOptionedPacketWithoutSanitizer(t *testing.T) {
+	n := newStaticNetwork(ModeTAP, nil)
+	pkt := plainPacket(getRequest())
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{1, 2}})
+	d := n.Deliver(pkt)
+	if d.Delivered || d.Stage != StageBorder {
+		t.Fatalf("optioned packet: %+v", d)
+	}
+	// Internal servers bypass border filtering.
+	internal := &Server{Addr: netip.MustParseAddr("10.10.10.10"), Internal: true, Handler: httpsim.StaticHandler(nil)}
+	n.AddServer(internal)
+	pkt2 := plainPacket(getRequest())
+	pkt2.Header.Dst = internal.Addr
+	pkt2.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{1, 2}})
+	if d := n.Deliver(pkt2); !d.Delivered {
+		t.Fatalf("internal optioned packet dropped: %+v", d)
+	}
+}
+
+func buildEnforcerAndDB(t *testing.T) (*enforcer.Enforcer, *dex.APK, *analyzer.Database) {
+	t.Helper()
+	apk := &dex.APK{
+		PackageName: "com.corp.app",
+		VersionCode: 1,
+		Dexes: []*dex.File{{Classes: []dex.ClassDef{
+			{
+				Package: "com/corp/app",
+				Name:    "Main",
+				Methods: []dex.MethodDef{
+					{Name: "sync", Proto: "()V", File: "M.java", StartLine: 1, EndLine: 10},
+				},
+			},
+			{
+				Package: "com/flurry/sdk",
+				Name:    "Agent",
+				Methods: []dex.MethodDef{
+					{Name: "beacon", Proto: "()V", File: "A.java", StartLine: 1, EndLine: 10},
+				},
+			},
+		}}},
+	}
+	db := analyzer.NewDatabase()
+	if err := db.Add(apk); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := policy.NewEngine([]policy.Rule{
+		{Action: policy.Deny, Level: policy.LevelLibrary, Target: "com/flurry"},
+	}, policy.VerdictAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enforcer.New(enforcer.Config{}, db, eng), apk, db
+}
+
+func taggedPacket(t *testing.T, apk *dex.APK, db *analyzer.Database, method string) *ipv4.Packet {
+	t.Helper()
+	entry, _ := db.LookupTruncated(apk.Truncated())
+	var idx uint32
+	found := false
+	for i, raw := range entry.Signatures {
+		sig, err := dex.ParseSignature(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Name == method {
+			idx = uint32(i)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("method %s not found", method)
+	}
+	tg := tag.Tag{AppHash: apk.Truncated(), Indexes: []uint32{idx}}
+	data, err := tg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := plainPacket(getRequest())
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: data})
+	return pkt
+}
+
+func TestFullGatewayPipeline(t *testing.T) {
+	enf, apk, db := buildEnforcerAndDB(t)
+	gw := NewGateway(GatewayConfig{Enforcer: enf, Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+
+	// Benign tagged packet: enforced, sanitized, delivered past the border.
+	d := n.Deliver(taggedPacket(t, apk, db, "sync"))
+	if !d.Delivered {
+		t.Fatalf("benign packet dropped: %+v", d)
+	}
+	if d.Enforcement == nil || d.Enforcement.Verdict != policy.VerdictAllow {
+		t.Fatalf("enforcement = %+v", d.Enforcement)
+	}
+	// Post-gateway capture must hold a cleansed packet.
+	post := n.CaptureAt(CapturePostGateway).Packets()
+	if len(post) != 1 || post[0].Header.HasOptions() {
+		t.Fatalf("post-gateway capture: %d packets, options=%v", len(post), post[0].Header.HasOptions())
+	}
+	// Device-egress capture preserves the tag for analysis.
+	pre := n.CaptureAt(CaptureDeviceEgress).Packets()
+	if len(pre) != 1 {
+		t.Fatalf("egress capture: %d", len(pre))
+	}
+	if _, ok := pre[0].Header.FindOption(ipv4.OptSecurity); !ok {
+		t.Fatal("egress capture lost the tag")
+	}
+
+	// Tracker-tagged packet: dropped at the gateway.
+	d = n.Deliver(taggedPacket(t, apk, db, "beacon"))
+	if d.Delivered || d.Stage != StageGateway {
+		t.Fatalf("tracker packet: %+v", d)
+	}
+	if d.Enforcement == nil || d.Enforcement.Cause != enforcer.DropPolicy {
+		t.Fatalf("enforcement = %+v", d.Enforcement)
+	}
+
+	// Untagged packet: dropped at the gateway (default posture).
+	d = n.Deliver(plainPacket(getRequest()))
+	if d.Delivered || d.Stage != StageGateway {
+		t.Fatalf("untagged packet: %+v", d)
+	}
+}
+
+func TestGatewayPassthroughMode(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Passthrough: true})
+	if !gw.Active() || gw.HasEnforcer() || gw.HasSanitizer() {
+		t.Fatal("passthrough gateway misconfigured")
+	}
+	n := newStaticNetwork(ModeTAP, gw)
+	d := n.Deliver(plainPacket(getRequest()))
+	if !d.Delivered {
+		t.Fatalf("passthrough dropped: %+v", d)
+	}
+	// Passthrough adds NFQUEUE cost vs no gateway.
+	n2 := newStaticNetwork(ModeTAP, nil)
+	d2 := n2.Deliver(plainPacket(getRequest()))
+	if d.Latency <= d2.Latency {
+		t.Fatalf("nfqueue %v must be slower than direct %v", d.Latency, d2.Latency)
+	}
+}
+
+func TestSanitizerOnlyGateway(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	pkt := plainPacket(getRequest())
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{5, 5}})
+	d := n.Deliver(pkt)
+	if !d.Delivered {
+		t.Fatalf("sanitized packet dropped: %+v", d)
+	}
+	if gw.Sanitizer().Stats().Cleansed != 1 {
+		t.Fatal("sanitizer did not cleanse")
+	}
+}
+
+func TestCaptureReset(t *testing.T) {
+	n := newStaticNetwork(ModeTAP, nil)
+	n.Deliver(plainPacket(getRequest()))
+	c := n.CaptureAt(CaptureDeviceEgress)
+	if c.Len() != 1 {
+		t.Fatalf("capture len = %d", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStageAndModeStrings(t *testing.T) {
+	if ModeSLIRP.String() != "slirp" || ModeTAP.String() != "tap" {
+		t.Error("mode names")
+	}
+	for s, want := range map[DropStage]string{
+		StageNone: "delivered", StageGateway: "gateway", StageBorder: "border-router", StageNoRoute: "no-route",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestServerByteAccounting(t *testing.T) {
+	n := newStaticNetwork(ModeTAP, nil)
+	req := &httpsim.Request{Method: "PUT", Path: "/up", Body: make([]byte, 1234)}
+	d := n.Deliver(plainPacket(req.Marshal()))
+	if !d.Delivered {
+		t.Fatal("not delivered")
+	}
+	srv, _ := n.ServerAt(serverAddr())
+	if srv.RxBytes() != 1234 {
+		t.Fatalf("rx bytes = %d", srv.RxBytes())
+	}
+}

@@ -1,0 +1,310 @@
+// Package netsim simulates the enterprise network testbed of the paper's
+// evaluation (§VI-A, §VI-D): the emulator's NIC modes (QEMU SLIRP vs TAP),
+// the gateway host whose iptables rules divert BYOD traffic into the
+// user-space Policy Enforcer and Packet Sanitizer, local and external HTTP
+// servers, RFC 7126 border filtering, packet capture for the analysis
+// pipeline, and a virtual clock with a calibrated latency model.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+)
+
+// NICMode is the emulator's network interface mode.
+type NICMode int
+
+// NIC modes.
+const (
+	// ModeSLIRP is QEMU user-mode networking (the SDK default).
+	ModeSLIRP NICMode = iota + 1
+	// ModeTAP is the virtual TAP interface the paper's testbed uses.
+	ModeTAP
+)
+
+// String names the mode.
+func (m NICMode) String() string {
+	switch m {
+	case ModeSLIRP:
+		return "slirp"
+	case ModeTAP:
+		return "tap"
+	default:
+		return fmt.Sprintf("nic(%d)", int(m))
+	}
+}
+
+// DropStage identifies where in the path a packet died.
+type DropStage int
+
+// Drop stages.
+const (
+	// StageNone means the packet was delivered.
+	StageNone DropStage = iota
+	// StageGateway is a Policy Enforcer (or netfilter) drop.
+	StageGateway
+	// StageBorder is an RFC 7126 drop at the upstream router.
+	StageBorder
+	// StageNoRoute is an unknown destination.
+	StageNoRoute
+)
+
+// String names the stage.
+func (s DropStage) String() string {
+	switch s {
+	case StageNone:
+		return "delivered"
+	case StageGateway:
+		return "gateway"
+	case StageBorder:
+		return "border-router"
+	case StageNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Server is a network endpoint handling HTTP-ish requests.
+type Server struct {
+	// Addr is the server's IPv4 address.
+	Addr netip.Addr
+	// Name is the DNS name(s) it serves, for reporting.
+	Name string
+	// Handler produces responses.
+	Handler httpsim.Handler
+	// Internal servers sit inside the corporate perimeter: traffic to them
+	// passes the gateway but not the RFC 7126 border router.
+	Internal bool
+
+	mu       sync.Mutex
+	requests uint64
+	rxBytes  uint64
+}
+
+// Requests returns the number of requests the server handled.
+func (s *Server) Requests() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// RxBytes returns the total request-body bytes received.
+func (s *Server) RxBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rxBytes
+}
+
+// CapturePoint identifies where a capture was taken.
+type CapturePoint int
+
+// Capture points, mirroring where the paper inspects traffic.
+const (
+	// CaptureDeviceEgress sees packets as they leave the device (tagged).
+	CaptureDeviceEgress CapturePoint = iota + 1
+	// CapturePostGateway sees packets after enforcement + sanitizing.
+	CapturePostGateway
+)
+
+// Capture is an append-only packet log (pcap stand-in).
+type Capture struct {
+	mu   sync.Mutex
+	pkts []*ipv4.Packet
+}
+
+// Append clones and stores a packet.
+func (c *Capture) Append(pkt *ipv4.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pkts = append(c.pkts, pkt.Clone())
+}
+
+// Packets returns the captured packets (shared slice of clones; callers
+// must not mutate).
+func (c *Capture) Packets() []*ipv4.Packet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*ipv4.Packet(nil), c.pkts...)
+}
+
+// Len returns the number of captured packets.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pkts)
+}
+
+// Reset clears the capture.
+func (c *Capture) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pkts = nil
+}
+
+// Network is the assembled testbed.
+type Network struct {
+	Clock *Clock
+	Model LatencyModel
+	// NIC selects the emulator interface mode.
+	NIC NICMode
+	// Gateway is the perimeter appliance; nil routes straight to servers.
+	Gateway *Gateway
+	// BorderFilterEnabled applies RFC 7126 at the upstream router for
+	// non-internal destinations.
+	BorderFilterEnabled bool
+
+	mu       sync.Mutex
+	servers  map[netip.Addr]*Server
+	captures map[CapturePoint]*Capture
+}
+
+// NewNetwork builds a testbed with the given NIC mode and latency model.
+func NewNetwork(nic NICMode, model LatencyModel) *Network {
+	return &Network{
+		Clock:               NewClock(),
+		Model:               model,
+		NIC:                 nic,
+		BorderFilterEnabled: true,
+		servers:             make(map[netip.Addr]*Server),
+		captures: map[CapturePoint]*Capture{
+			CaptureDeviceEgress: {},
+			CapturePostGateway:  {},
+		},
+	}
+}
+
+// AddServer registers an endpoint.
+func (n *Network) AddServer(s *Server) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[s.Addr] = s
+}
+
+// ServerAt returns the server at an address.
+func (n *Network) ServerAt(addr netip.Addr) (*Server, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.servers[addr]
+	return s, ok
+}
+
+// CaptureAt returns the capture log for a point.
+func (n *Network) CaptureAt(p CapturePoint) *Capture {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.captures[p]
+}
+
+// ErrNoRoute reports delivery to an unregistered address.
+var ErrNoRoute = errors.New("netsim: no route to host")
+
+// Delivery is the fate of one packet pushed through the network.
+type Delivery struct {
+	// Delivered reports whether the packet reached its server.
+	Delivered bool
+	// Stage is where the packet died when not delivered.
+	Stage DropStage
+	// Enforcement is the Policy Enforcer's result when that stage ran.
+	Enforcement *enforcer.Result
+	// Response is the server's reply (nil when dropped or non-HTTP).
+	Response *httpsim.Response
+	// Latency is the virtual one-way + response time charged.
+	Latency time.Duration
+}
+
+// Deliver pushes one device-egress packet through NIC → gateway → border →
+// server, charging virtual time for each stage, and returns what happened.
+func (n *Network) Deliver(pkt *ipv4.Packet) Delivery {
+	return n.deliver(pkt, false)
+}
+
+// deliver implements Deliver; skipGateway models paths (like the mobile
+// carrier) that never touch the corporate perimeter.
+func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
+	start := n.Clock.Now()
+	n.captureAt(CaptureDeviceEgress, pkt)
+
+	// Emulator NIC cost.
+	switch n.NIC {
+	case ModeSLIRP:
+		n.Clock.Advance(n.Model.SlirpPerPacket)
+	default:
+		n.Clock.Advance(n.Model.TapPerPacket)
+	}
+
+	cur := pkt
+	var enfRes *enforcer.Result
+	if !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+		// Kernel→user-space→kernel hop for the queue reader.
+		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+		if n.Gateway.HasEnforcer() {
+			n.Clock.Advance(n.Model.EnforcerPerPacket)
+		}
+		if n.Gateway.HasSanitizer() {
+			n.Clock.Advance(n.Model.SanitizerPerPacket)
+		}
+		out, res, err := n.Gateway.Process(cur)
+		enfRes = res
+		if err != nil || out == nil {
+			return Delivery{Stage: StageGateway, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+		}
+		cur = out
+	}
+	n.captureAt(CapturePostGateway, cur)
+
+	n.mu.Lock()
+	srv, ok := n.servers[cur.Header.Dst]
+	n.mu.Unlock()
+	if !ok {
+		return Delivery{Stage: StageNoRoute, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+	}
+
+	// RFC 7126 filtering on the public path.
+	if n.BorderFilterEnabled && !srv.Internal {
+		if ipv4.BorderFilter(cur) == ipv4.BorderDrop {
+			return Delivery{Stage: StageBorder, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+		}
+	}
+
+	n.Clock.Advance(n.Model.WireRTT / 2)
+	var resp *httpsim.Response
+	if req, err := httpsim.ParseRequest(cur.Payload); err == nil {
+		n.Clock.Advance(n.Model.ServerProcessing)
+		srv.mu.Lock()
+		srv.requests++
+		srv.rxBytes += uint64(len(req.Body))
+		srv.mu.Unlock()
+		if srv.Handler != nil {
+			resp = srv.Handler(req)
+		}
+	}
+	n.Clock.Advance(n.Model.WireRTT / 2)
+	// The response traverses the gateway's queue on the way back in
+	// (conntrack reinjection into the same NFQUEUE reader).
+	if !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+	}
+	return Delivery{
+		Delivered:   true,
+		Enforcement: enfRes,
+		Response:    resp,
+		Latency:     n.Clock.Now() - start,
+	}
+}
+
+func (n *Network) captureAt(p CapturePoint, pkt *ipv4.Packet) {
+	n.mu.Lock()
+	c := n.captures[p]
+	n.mu.Unlock()
+	if c != nil {
+		c.Append(pkt)
+	}
+}

@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"borderpatrol/internal/ipv4"
+)
+
+// This file implements a pcap-style on-disk format for Captures so gateway
+// sessions can persist raw tagged traffic for offline analysis (the paper's
+// evaluation records "all generated network traffic" during corpus runs,
+// §VI-A). The format is a minimal length-prefixed record stream:
+//
+//	magic   uint32  0xB0DE4A7C
+//	version uint16  1
+//	records: { length uint32, packet bytes (ipv4 wire format) }*
+
+const (
+	captureMagic   = 0xB0DE4A7C
+	captureVersion = 1
+	// maxRecordLen bounds one packet record (IPv4 max total length).
+	maxRecordLen = 65535
+)
+
+// Errors for capture serialization.
+var (
+	ErrBadCaptureMagic   = errors.New("netsim: not a capture file")
+	ErrBadCaptureVersion = errors.New("netsim: unsupported capture version")
+)
+
+// WriteTo serializes every captured packet to w.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], captureMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], captureVersion)
+	n, err := bw.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("netsim: capture write: %w", err)
+	}
+	for _, pkt := range c.Packets() {
+		wire, err := pkt.Marshal()
+		if err != nil {
+			return written, fmt.Errorf("netsim: capture marshal: %w", err)
+		}
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(wire)))
+		n, err = bw.Write(lenBuf[:])
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("netsim: capture write: %w", err)
+		}
+		n, err = bw.Write(wire)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("netsim: capture write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("netsim: capture flush: %w", err)
+	}
+	return written, nil
+}
+
+// ReadCapture parses a capture stream back into packets.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netsim: capture header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != captureMagic {
+		return nil, ErrBadCaptureMagic
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != captureVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadCaptureVersion, v)
+	}
+	cap := &Capture{}
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return cap, nil
+			}
+			return nil, fmt.Errorf("netsim: capture record length: %w", err)
+		}
+		recLen := binary.BigEndian.Uint32(lenBuf[:])
+		if recLen == 0 || recLen > maxRecordLen {
+			return nil, fmt.Errorf("netsim: capture record length %d out of range", recLen)
+		}
+		wire := make([]byte, recLen)
+		if _, err := io.ReadFull(br, wire); err != nil {
+			return nil, fmt.Errorf("netsim: capture record body: %w", err)
+		}
+		pkt, err := ipv4.Unmarshal(wire)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: capture packet: %w", err)
+		}
+		cap.Append(pkt)
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"borderpatrol/internal/ipv4"
+)
+
+func capturePacket(seq byte, withOpt bool) *ipv4.Packet {
+	p := &ipv4.Packet{
+		Header: ipv4.Header{
+			ID:       uint16(seq),
+			TTL:      64,
+			Protocol: ipv4.ProtoTCP,
+			Src:      netip.AddrFrom4([4]byte{10, 0, 0, seq}),
+			Dst:      netip.AddrFrom4([4]byte{198, 18, 0, seq}),
+		},
+		Payload: bytes.Repeat([]byte{seq}, int(seq)+1),
+	}
+	if withOpt {
+		p.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{0x10, seq, seq, seq}})
+	}
+	return p
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	c := &Capture{}
+	for i := byte(0); i < 10; i++ {
+		c.Append(capturePacket(i, i%2 == 0))
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := c.Packets()
+	got := back.Packets()
+	if len(got) != len(orig) {
+		t.Fatalf("got %d packets, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Header.ID != orig[i].Header.ID || got[i].Header.Dst != orig[i].Header.Dst {
+			t.Fatalf("packet %d header mismatch", i)
+		}
+		if !bytes.Equal(got[i].Payload, orig[i].Payload) {
+			t.Fatalf("packet %d payload mismatch", i)
+		}
+		o1, ok1 := orig[i].Header.FindOption(ipv4.OptSecurity)
+		o2, ok2 := got[i].Header.FindOption(ipv4.OptSecurity)
+		if ok1 != ok2 || (ok1 && !bytes.Equal(o1.Data, o2.Data)) {
+			t.Fatalf("packet %d option mismatch", i)
+		}
+	}
+}
+
+func TestCaptureEmptyRoundTrip(t *testing.T) {
+	c := &Capture{}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatal("phantom packets")
+	}
+}
+
+func TestReadCaptureErrors(t *testing.T) {
+	if _, err := ReadCapture(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadCapture(bytes.NewReader([]byte{1, 2, 3, 4, 0, 1})); !errors.Is(err, ErrBadCaptureMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Right magic, wrong version.
+	bad := []byte{0xB0, 0xDE, 0x4A, 0x7C, 0x00, 0x09}
+	if _, err := ReadCapture(bytes.NewReader(bad)); !errors.Is(err, ErrBadCaptureVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated record.
+	c := &Capture{}
+	c.Append(capturePacket(1, true))
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadCapture(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Corrupt record length.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[6], data[7], data[8], data[9] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadCapture(bytes.NewReader(data)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package netstack
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/kernel"
+)
+
+func newStack() *Stack {
+	k := kernel.New(kernel.Config{AllowUnprivilegedIPOptions: true})
+	return NewStack(k, netip.MustParseAddr("10.0.0.5"))
+}
+
+func remoteAP() netip.AddrPort {
+	return netip.AddrPortFrom(netip.MustParseAddr("93.184.216.34"), 80)
+}
+
+func TestLazySocketCreation(t *testing.T) {
+	st := newStack()
+	s := st.NewJavaSocket(10001)
+	// Mirrors Java: constructing the socket object does not call socket(2).
+	if s.FD() != -1 {
+		t.Fatalf("fd = %d before connect, want -1 (lazy init)", s.FD())
+	}
+	if got := st.Kernel().Stats().SocketCalls; got != 0 {
+		t.Fatalf("socket(2) called %d times before connect", got)
+	}
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	if s.FD() < 0 {
+		t.Fatal("fd not allocated on connect")
+	}
+	if got := st.Kernel().Stats().SocketCalls; got != 1 {
+		t.Fatalf("socket(2) called %d times, want exactly 1", got)
+	}
+	if !s.Connected() {
+		t.Fatal("not connected")
+	}
+	if s.Remote() != remoteAP() {
+		t.Fatal("remote wrong")
+	}
+	if s.Local().Addr() != netip.MustParseAddr("10.0.0.5") {
+		t.Fatal("local address wrong")
+	}
+}
+
+func TestConnectHookFiresAfterConnection(t *testing.T) {
+	st := newStack()
+	var hookedFD int
+	var wasConnected bool
+	st.RegisterConnectHook(func(sock *JavaSocket) {
+		hookedFD = sock.FD()
+		wasConnected = sock.Connected()
+		sock.Ctx = "context-attached"
+	})
+	s := st.NewJavaSocket(10001)
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	// Post-hook semantics: socket exists and is connected when hook runs.
+	if hookedFD != s.FD() || !wasConnected {
+		t.Fatalf("hook saw fd=%d connected=%v", hookedFD, wasConnected)
+	}
+	if s.Ctx != "context-attached" {
+		t.Fatal("hook context lost")
+	}
+}
+
+func TestHookCanSetIPOptions(t *testing.T) {
+	st := newStack()
+	st.RegisterConnectHook(func(sock *JavaSocket) {
+		err := st.Kernel().SetIPOptions(sock.FD(), 0, []ipv4.Option{
+			{Type: ipv4.OptSecurity, Data: []byte{0xde, 0xad}},
+		})
+		if err != nil {
+			t.Errorf("hook setsockopt: %v", err)
+		}
+	})
+	s := st.NewJavaSocket(10001)
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := s.Send([]byte("GET / HTTP/1.1\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := pkt.Header.FindOption(ipv4.OptSecurity)
+	if !ok || opt.Data[0] != 0xde {
+		t.Fatal("tag not stamped on packet")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	st := newStack()
+	s := st.NewJavaSocket(10001)
+	if _, err := s.Send([]byte("x")); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("send before connect: %v", err)
+	}
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := s.Connect(remoteAP()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("connect after close: %v", err)
+	}
+}
+
+func TestDoubleConnect(t *testing.T) {
+	st := newStack()
+	s := st.NewJavaSocket(10001)
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(remoteAP()); !errors.Is(err, kernel.ErrIsConnected) {
+		t.Fatalf("double connect: %v", err)
+	}
+}
+
+func TestCloseBeforeConnectIsCheap(t *testing.T) {
+	st := newStack()
+	s := st.NewJavaSocket(10001)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close of never-connected socket: %v", err)
+	}
+	if got := st.Kernel().Stats().SocketCalls; got != 0 {
+		t.Fatalf("closing an unconnected Java socket made %d syscalls", got)
+	}
+}
+
+func TestEphemeralPortsAdvance(t *testing.T) {
+	st := newStack()
+	a := st.NewJavaSocket(10001)
+	b := st.NewJavaSocket(10001)
+	if err := a.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Local().Port() == b.Local().Port() {
+		t.Fatal("two live sockets share an ephemeral port")
+	}
+}
+
+func TestSocketReuseKeepsOneContext(t *testing.T) {
+	// Paper §VII "Socket reuse": all packets on one socket carry the stack
+	// trace captured at connect time; reusing the socket for a different
+	// purpose cannot change the tag without reconnecting.
+	st := newStack()
+	calls := 0
+	st.RegisterConnectHook(func(sock *JavaSocket) {
+		calls++
+		_ = st.Kernel().SetIPOptions(sock.FD(), 0, []ipv4.Option{
+			{Type: ipv4.OptSecurity, Data: []byte{byte(calls)}},
+		})
+	})
+	s := st.NewJavaSocket(10001)
+	if err := s.Connect(remoteAP()); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := s.Send([]byte("first purpose"))
+	p2, _ := s.Send([]byte("second purpose"))
+	o1, _ := p1.Header.FindOption(ipv4.OptSecurity)
+	o2, _ := p2.Header.FindOption(ipv4.OptSecurity)
+	if o1.Data[0] != o2.Data[0] {
+		t.Fatal("context changed across sends on one socket")
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times for one socket, want 1", calls)
+	}
+}

@@ -1,0 +1,168 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"borderpatrol/internal/dex"
+)
+
+// Verdict is the engine's decision for one packet.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictAllow admits the packet.
+	VerdictAllow Verdict = iota + 1
+	// VerdictDrop discards the packet.
+	VerdictDrop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAllow:
+		return "allow"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Decision is a verdict plus the rule that produced it (nil for defaults).
+type Decision struct {
+	Verdict Verdict
+	// Rule is the decisive rule; nil when the default applied.
+	Rule *Rule
+	// Reason is a human-readable explanation for audit logs.
+	Reason string
+}
+
+// Engine evaluates ordered rules with a configurable default action. It is
+// safe for concurrent use: rule updates take a write lock, evaluation a
+// read lock — matching the paper's "reconfigurability" design goal (§IV),
+// where administrators update policies centrally while traffic flows.
+type Engine struct {
+	mu          sync.RWMutex
+	rules       []Rule
+	defaultV    Verdict
+	evaluations uint64
+	defaultHits uint64
+	ruleHits    map[int]uint64
+}
+
+// NewEngine builds an engine with the given ordered rules. defaultVerdict
+// applies when no rule is decisive.
+func NewEngine(rules []Rule, defaultVerdict Verdict) (*Engine, error) {
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("policy: rule %d: %w", i, err)
+		}
+	}
+	if defaultVerdict != VerdictAllow && defaultVerdict != VerdictDrop {
+		return nil, fmt.Errorf("policy: invalid default verdict %d", defaultVerdict)
+	}
+	return &Engine{
+		rules:    append([]Rule(nil), rules...),
+		defaultV: defaultVerdict,
+		ruleHits: make(map[int]uint64, len(rules)),
+	}, nil
+}
+
+// SetRules atomically replaces the rule set (central reconfiguration).
+func (e *Engine) SetRules(rules []Rule) error {
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("policy: rule %d: %w", i, err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append([]Rule(nil), rules...)
+	e.ruleHits = make(map[int]uint64, len(rules))
+	return nil
+}
+
+// Rules returns a copy of the current rule set.
+func (e *Engine) Rules() []Rule {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]Rule(nil), e.rules...)
+}
+
+// Default returns the engine's default verdict.
+func (e *Engine) Default() Verdict {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.defaultV
+}
+
+// Evaluate decides the fate of a packet given its decoded context: the
+// app's truncated hash and the stack-trace signatures. Rules are evaluated
+// in order; the first decisive rule wins (a matching deny drops, a
+// fully-matching allow admits); otherwise the default applies.
+func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Decision {
+	// Snapshot the rule set; SetRules replaces the slice wholesale, so the
+	// snapshot stays consistent while matching runs lock-free.
+	e.mu.RLock()
+	rules := e.rules
+	def := e.defaultV
+	e.mu.RUnlock()
+
+	decisive := -1
+	var decision Decision
+	for i := range rules {
+		r := &rules[i]
+		if !r.Matches(appHash, stack) {
+			continue
+		}
+		decisive = i
+		switch r.Action {
+		case Deny:
+			decision = Decision{
+				Verdict: VerdictDrop,
+				Rule:    r,
+				Reason:  fmt.Sprintf("deny rule %s matched", r),
+			}
+		case Allow:
+			decision = Decision{
+				Verdict: VerdictAllow,
+				Rule:    r,
+				Reason:  fmt.Sprintf("allow rule %s satisfied by all frames", r),
+			}
+		}
+		break
+	}
+	if decisive < 0 {
+		decision = Decision{Verdict: def, Reason: fmt.Sprintf("default %s", def)}
+	}
+
+	e.mu.Lock()
+	e.evaluations++
+	if decisive >= 0 {
+		e.ruleHits[decisive]++
+	} else {
+		e.defaultHits++
+	}
+	e.mu.Unlock()
+	return decision
+}
+
+// Stats reports evaluation counters for monitoring.
+type Stats struct {
+	Evaluations uint64
+	DefaultHits uint64
+	RuleHits    map[int]uint64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	hits := make(map[int]uint64, len(e.ruleHits))
+	for k, v := range e.ruleHits {
+		hits[k] = v
+	}
+	return Stats{Evaluations: e.evaluations, DefaultHits: e.defaultHits, RuleHits: hits}
+}

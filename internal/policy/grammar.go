@@ -1,0 +1,158 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file parses the paper's simplified policy grammar (§IV-B Snippet 1):
+//
+//	<POLICY> ::= {[<ACTION>] [<LEVEL>] [<TARGET>]}
+//	<ACTION> ::= (allow | deny)
+//	<LEVEL>  ::= (hash | library | class | method)
+//	<TARGET> ::= quoted string
+//
+// Lines starting with // are comments; blank lines are ignored. Multi-line
+// rules are supported because the paper's own examples wrap long method
+// signatures across lines.
+
+// ParseRule parses a single {[action][level]["target"]} rule.
+func ParseRule(raw string) (Rule, error) {
+	s := strings.TrimSpace(raw)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return Rule{}, fmt.Errorf("%w: rule %q must be enclosed in braces", ErrBadRule, raw)
+	}
+	s = s[1 : len(s)-1]
+	fields, err := bracketFields(s)
+	if err != nil {
+		return Rule{}, err
+	}
+	if len(fields) != 3 {
+		return Rule{}, fmt.Errorf("%w: rule %q has %d fields, want 3", ErrBadRule, raw, len(fields))
+	}
+	action, err := ParseAction(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return Rule{}, err
+	}
+	level, err := ParseLevel(strings.TrimSpace(fields[1]))
+	if err != nil {
+		return Rule{}, err
+	}
+	target := strings.TrimSpace(fields[2])
+	if strings.HasPrefix(target, `"`) && strings.HasSuffix(target, `"`) && len(target) >= 2 {
+		target = target[1 : len(target)-1]
+	}
+	rule := Rule{Action: action, Level: level, Target: target}
+	if err := rule.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return rule, nil
+}
+
+// bracketFields splits "[a][b][c]" into its bracketed fields, tolerating
+// whitespace between brackets.
+func bracketFields(s string) ([]string, error) {
+	var fields []string
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("%w: expected '[' at %q", ErrBadRule, rest)
+		}
+		depth := 0
+		end := -1
+		inQuote := false
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '"':
+				inQuote = !inQuote
+			case '[':
+				if !inQuote {
+					depth++
+				}
+			case ']':
+				if !inQuote {
+					depth--
+					if depth == 0 {
+						end = i
+					}
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("%w: unterminated '[' in %q", ErrBadRule, s)
+		}
+		fields = append(fields, rest[1:end])
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return fields, nil
+}
+
+// ParsePolicy reads a full policy document: one or more rules, //-comments,
+// and blank lines. A rule may span multiple physical lines; rules are
+// accumulated until braces balance.
+func ParsePolicy(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	var pending strings.Builder
+	depth := 0
+	lineNo := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if idx := strings.Index(line, "//"); idx >= 0 && depth == 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		pending.WriteString(line)
+		for _, c := range line {
+			switch c {
+			case '{':
+				depth++
+			case '}':
+				depth--
+			}
+		}
+		if depth < 0 {
+			return nil, fmt.Errorf("%w: line %d: unbalanced '}'", ErrBadRule, lineNo)
+		}
+		if depth == 0 {
+			rule, err := ParseRule(pending.String())
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rules = append(rules, rule)
+			pending.Reset()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policy: read: %w", err)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("%w: unterminated rule at EOF", ErrBadRule)
+	}
+	return rules, nil
+}
+
+// ParsePolicyString is ParsePolicy over an in-memory document.
+func ParsePolicyString(s string) ([]Rule, error) {
+	return ParsePolicy(strings.NewReader(s))
+}
+
+// FormatPolicy renders rules back into a parseable policy document.
+func FormatPolicy(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSnippet1 is the exact policy document from the paper's Snippet 1
+// examples (comments included).
+const paperSnippet1 = `
+// Example 1: prevent ad library connections
+{[deny][library]["com/flurry"]}
+
+// Example 2: prevent functions of an entire class
+{[deny][class]["com/google/gms"]}
+
+// Example 3: prevent uploads for Dropbox
+{[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;
+->c()Lcom/dropbox/hairball/taskqueue/TaskResult;"]}
+
+// Example 4: whitelist company app connections by hash
+{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}
+`
+
+func TestParsePaperSnippet1(t *testing.T) {
+	rules, err := ParsePolicyString(paperSnippet1)
+	if err != nil {
+		t.Fatalf("ParsePolicyString: %v", err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules, want 4", len(rules))
+	}
+	want := []struct {
+		action Action
+		level  Level
+		target string
+	}{
+		{Deny, LevelLibrary, "com/flurry"},
+		{Deny, LevelClass, "com/google/gms"},
+		{Deny, LevelMethod, "Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;"},
+		{Allow, LevelHash, "da6880ab1f9919747d39e2bd895b95a5"},
+	}
+	for i, w := range want {
+		if rules[i].Action != w.action || rules[i].Level != w.level || rules[i].Target != w.target {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], w)
+		}
+	}
+}
+
+func TestParseRuleSingle(t *testing.T) {
+	r, err := ParseRule(`{[deny][library]["com/flurry"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != Deny || r.Level != LevelLibrary || r.Target != "com/flurry" {
+		t.Fatalf("parsed %+v", r)
+	}
+	// Whitespace tolerance.
+	r2, err := ParseRule(`{ [allow] [hash] ["aabbccdd00112233"] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Action != Allow || r2.Level != LevelHash {
+		t.Fatalf("parsed %+v", r2)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`[deny][library]["x"]`,               // no braces
+		`{[deny]["com/flurry"]}`,             // missing level
+		`{[deny][library]["com/flurry"][x]}`, // extra field
+		`{[maybe][library]["com/flurry"]}`,   // bad action
+		`{[deny][file]["com/flurry"]}`,       // bad level
+		`{[deny][library][""]}`,              // empty target
+		`{[deny][method]["garbage"]}`,        // unparsable method target
+		`{deny library com/flurry}`,          // no brackets
+	}
+	for _, raw := range bad {
+		if _, err := ParseRule(raw); err == nil {
+			t.Errorf("ParseRule(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	if _, err := ParsePolicyString("{[deny][library][\"a\"]}\n}"); err == nil {
+		t.Error("unbalanced brace accepted")
+	}
+	if _, err := ParsePolicyString("{[deny][library][\"a\"]"); err == nil {
+		t.Error("unterminated rule accepted")
+	}
+	if _, err := ParsePolicyString("{[deny][nope][\"a\"]}"); err == nil {
+		t.Error("invalid rule accepted")
+	}
+}
+
+func TestFormatPolicyRoundTrip(t *testing.T) {
+	rules, err := ParsePolicyString(paperSnippet1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FormatPolicy(rules)
+	again, err := ParsePolicyString(doc)
+	if err != nil {
+		t.Fatalf("reparse formatted policy: %v\n%s", err, doc)
+	}
+	if len(again) != len(rules) {
+		t.Fatalf("round trip lost rules: %d -> %d", len(rules), len(again))
+	}
+	for i := range rules {
+		if rules[i] != again[i] {
+			t.Errorf("rule %d changed: %+v -> %+v", i, rules[i], again[i])
+		}
+	}
+}
+
+func TestParsePolicyIgnoresCommentsAndBlank(t *testing.T) {
+	doc := `
+// a comment
+
+{[deny][library]["com/ads"]}   // trailing comment
+`
+	rules, err := ParsePolicyString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Target != "com/ads" {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestBracketFieldsQuotedBrackets(t *testing.T) {
+	// Targets may contain brackets inside quotes (array descriptors).
+	r, err := ParseRule(`{[deny][method]["Lcom/a/B;->m([B)V"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Target, "([B)V") {
+		t.Fatalf("target = %q", r.Target)
+	}
+}

@@ -1,0 +1,235 @@
+// Package policy implements BorderPatrol's fine-grained policy model
+// (paper §IV-B): rules of the form {[action][level][target]} evaluated
+// against the app hash and decoded stack-trace signatures carried in each
+// packet.
+//
+// Enforcement levels are ordered by granularity, ℓh < ℓk < ℓc < ℓm (hash,
+// library, class, method). For a packet header H with app hash h and stack
+// signatures s0..sn, a rule (α, L, θ) applies as:
+//
+//   - α = deny:  drop the packet if ∃ s ∈ H whose match with θ reaches
+//     level ≥ L (blacklisting).
+//   - α = allow: admit the packet iff ∀ s ∈ H match θ at level ≥ L
+//     (whitelisting).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"borderpatrol/internal/dex"
+)
+
+// Action is a policy enforcement action α.
+type Action int
+
+// Actions.
+const (
+	// Allow whitelists matching traffic.
+	Allow Action = iota + 1
+	// Deny blacklists matching traffic.
+	Deny
+)
+
+// String names the action in grammar syntax.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Level is the enforcement granularity L. Higher values are finer.
+type Level int
+
+// Levels, ordered ℓh < ℓk < ℓc < ℓm per the paper.
+const (
+	// LevelHash matches the whole app by its apk hash.
+	LevelHash Level = iota + 1
+	// LevelLibrary matches a Java package-path prefix ("com/flurry").
+	LevelLibrary
+	// LevelClass matches a fully-qualified class path prefix.
+	LevelClass
+	// LevelMethod matches a full method signature.
+	LevelMethod
+)
+
+// String names the level in grammar syntax.
+func (l Level) String() string {
+	switch l {
+	case LevelHash:
+		return "hash"
+	case LevelLibrary:
+		return "library"
+	case LevelClass:
+		return "class"
+	case LevelMethod:
+		return "method"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel parses a grammar level keyword.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "hash":
+		return LevelHash, nil
+	case "library":
+		return LevelLibrary, nil
+	case "class":
+		return LevelClass, nil
+	case "method":
+		return LevelMethod, nil
+	default:
+		return 0, fmt.Errorf("%w: level %q", ErrBadRule, s)
+	}
+}
+
+// ParseAction parses a grammar action keyword.
+func ParseAction(s string) (Action, error) {
+	switch s {
+	case "allow":
+		return Allow, nil
+	case "deny":
+		return Deny, nil
+	default:
+		return 0, fmt.Errorf("%w: action %q", ErrBadRule, s)
+	}
+}
+
+// Rule is one policy rule (α, L, θ).
+type Rule struct {
+	Action Action
+	Level  Level
+	Target string
+}
+
+// ErrBadRule reports an unparsable rule.
+var ErrBadRule = errors.New("policy: malformed rule")
+
+// String renders the rule in the paper's grammar.
+func (r Rule) String() string {
+	return fmt.Sprintf("{[%s][%s][%q]}", r.Action, r.Level, r.Target)
+}
+
+// Validate rejects incomplete or inconsistent rules.
+func (r Rule) Validate() error {
+	if r.Action != Allow && r.Action != Deny {
+		return fmt.Errorf("%w: %s has no action", ErrBadRule, r)
+	}
+	if r.Level < LevelHash || r.Level > LevelMethod {
+		return fmt.Errorf("%w: %s has no level", ErrBadRule, r)
+	}
+	if r.Target == "" {
+		return fmt.Errorf("%w: %s has empty target", ErrBadRule, r)
+	}
+	if r.Level == LevelHash {
+		if _, err := dex.ParseTruncatedHash(r.Target); err != nil {
+			// Full 32-hex-digit hashes are also accepted as targets.
+			if len(r.Target) != 2*dex.HashSize || !isHex(r.Target) {
+				return fmt.Errorf("%w: hash target %q is not a hash", ErrBadRule, r.Target)
+			}
+		}
+	}
+	if r.Level == LevelMethod {
+		if _, err := dex.ParseSignature(r.Target); err != nil {
+			return fmt.Errorf("%w: method target: %v", ErrBadRule, err)
+		}
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// MatchLevel computes ℓθ: the highest level at which the rule's target
+// matches the given stack signature (with appHash the packet's app
+// identifier). Returns 0 when the target does not match at all.
+func (r Rule) MatchLevel(appHash dex.TruncatedHash, sig dex.Signature) Level {
+	switch r.Level {
+	case LevelHash:
+		// Hash targets compare against the packet's app identity; every
+		// frame of a matching app "contains" the app at ℓh.
+		target := r.Target
+		if len(target) > 2*dex.TruncatedHashSize {
+			target = target[:2*dex.TruncatedHashSize]
+		}
+		if strings.EqualFold(target, appHash.String()) {
+			return LevelHash
+		}
+		return 0
+	case LevelLibrary:
+		if dex.PackagePrefixMatch(r.Target, sig.Package) {
+			return LevelLibrary
+		}
+		return 0
+	case LevelClass:
+		if dex.PackagePrefixMatch(r.Target, sig.ClassPath()) {
+			return LevelClass
+		}
+		return 0
+	case LevelMethod:
+		target, err := dex.ParseSignature(r.Target)
+		if err != nil {
+			return 0
+		}
+		if target == sig {
+			return LevelMethod
+		}
+		// A merged (debug-stripped) frame over-approximates every overload
+		// of the method: it must match a method target that differs only in
+		// proto, otherwise stripping debug info would bypass policies.
+		if sig.Merged() && target.Package == sig.Package &&
+			target.Class == sig.Class && target.Name == sig.Name {
+			return LevelMethod
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Matches reports whether the rule applies to the packet context per the
+// paper's semantics: a deny rule matches when ∃ a signature at level ≥ L; an
+// allow rule matches when ∀ signatures are at level ≥ L. For hash-level
+// rules an empty stack still carries app identity, so the hash decides.
+func (r Rule) Matches(appHash dex.TruncatedHash, stack []dex.Signature) bool {
+	if r.Level == LevelHash {
+		return r.MatchLevel(appHash, dex.Signature{}) >= r.Level
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	switch r.Action {
+	case Deny:
+		for _, sig := range stack {
+			if r.MatchLevel(appHash, sig) >= r.Level {
+				return true
+			}
+		}
+		return false
+	case Allow:
+		for _, sig := range stack {
+			if r.MatchLevel(appHash, sig) < r.Level {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

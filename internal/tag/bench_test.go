@@ -1,0 +1,63 @@
+package tag
+
+import (
+	"testing"
+
+	"borderpatrol/internal/dex"
+)
+
+// Ablation: encode/decode cost vs stack depth. The per-socket tagging cost
+// the paper amortizes (§VI-D) includes this encode; decode runs per packet
+// on the enforcer.
+func benchmarkEncodeDepth(b *testing.B, depth int, wide bool) {
+	b.Helper()
+	var h dex.TruncatedHash
+	for i := range h {
+		h[i] = byte(i)
+	}
+	idx := make([]uint32, depth)
+	for i := range idx {
+		if wide {
+			idx[i] = uint32(70000 + i)
+		} else {
+			idx[i] = uint32(100 + i)
+		}
+	}
+	t := Tag{AppHash: h, Indexes: idx}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDepth2Narrow(b *testing.B)  { benchmarkEncodeDepth(b, 2, false) }
+func BenchmarkEncodeDepth8Narrow(b *testing.B)  { benchmarkEncodeDepth(b, 8, false) }
+func BenchmarkEncodeDepth14Narrow(b *testing.B) { benchmarkEncodeDepth(b, 14, false) }
+func BenchmarkEncodeDepth9Wide(b *testing.B)    { benchmarkEncodeDepth(b, 9, true) }
+
+func benchmarkDecodeDepth(b *testing.B, depth int) {
+	b.Helper()
+	var h dex.TruncatedHash
+	idx := make([]uint32, depth)
+	for i := range idx {
+		idx[i] = uint32(i * 7)
+	}
+	t := Tag{AppHash: h, Indexes: idx}
+	buf, err := t.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeDepth2(b *testing.B)  { benchmarkDecodeDepth(b, 2) }
+func BenchmarkDecodeDepth14(b *testing.B) { benchmarkDecodeDepth(b, 14) }

@@ -1,0 +1,165 @@
+// Package tag implements BorderPatrol's compact context-tag encoding: the
+// payload the Context Manager embeds in the IP_OPTIONS header field and the
+// Policy Enforcer decodes back into a stack trace (paper §IV-A2, Fig. 2).
+//
+// Layout (inside one IP option of type 130/security):
+//
+//	byte 0      version (high nibble) | flags (low nibble)
+//	bytes 1..8  truncated (8-byte) MD5 of the originating apk
+//	bytes 9..   method indexes, innermost (socket call site) first
+//
+// Indexes use the paper's proposed variable-length extension (§VII
+// "Multi-dex file applications"): if the first byte's high bit is clear the
+// index occupies 2 bytes (15-bit value, single-dex apps); if set it
+// occupies 3 bytes (23-bit value, multi-dex apps). The whole option must
+// fit the 40-byte IP_OPTIONS budget, so at most 14 narrow (or 9 wide)
+// frames are carried; deeper stacks are truncated outermost-first, keeping
+// the frames closest to the socket call, which carry the app-specific
+// context.
+package tag
+
+import (
+	"errors"
+	"fmt"
+
+	"borderpatrol/internal/dex"
+)
+
+// Version is the current tag wire-format version.
+const Version = 1
+
+// Flag bits (low nibble of byte 0).
+const (
+	// FlagDebugStripped marks a tag whose indexes refer to merged
+	// (over-approximated) signatures because the apk lacked debug info.
+	FlagDebugStripped = 1 << 0
+	// FlagTruncated marks a tag whose stack did not fit the options budget.
+	FlagTruncated = 1 << 1
+)
+
+// Wire-size constants.
+const (
+	// HeaderSize is version/flags byte plus the truncated apk hash.
+	HeaderSize = 1 + dex.TruncatedHashSize
+	// MaxEncoded is the maximum tag payload: the 40-byte IP_OPTIONS budget
+	// minus the option's own type and length bytes.
+	MaxEncoded = 40 - 2
+	// maxIndexBytes is the room left for indexes after the header.
+	maxIndexBytes = MaxEncoded - HeaderSize // 29
+	// MaxNarrowFrames is the frame capacity with 2-byte indexes.
+	MaxNarrowFrames = maxIndexBytes / 2 // 14
+	// MaxWideFrames is the frame capacity with 3-byte indexes.
+	MaxWideFrames = maxIndexBytes / 3 // 9
+	// MaxNarrowIndex is the largest index a 2-byte encoding can carry.
+	MaxNarrowIndex = 1<<15 - 1
+	// MaxWideIndex is the largest index a 3-byte encoding can carry.
+	MaxWideIndex = 1<<23 - 1
+)
+
+// Errors returned by encoding and decoding.
+var (
+	ErrIndexTooLarge = errors.New("tag: method index exceeds 23-bit wide encoding")
+	ErrTruncatedTag  = errors.New("tag: payload truncated")
+	ErrBadVersion    = errors.New("tag: unsupported version")
+)
+
+// Tag is the decoded context tag: which app sent the packet and the stack
+// of method indexes active when its socket was created.
+type Tag struct {
+	AppHash dex.TruncatedHash
+	// Indexes are global method indexes, innermost frame first.
+	Indexes []uint32
+	// DebugStripped mirrors FlagDebugStripped.
+	DebugStripped bool
+	// Truncated mirrors FlagTruncated.
+	Truncated bool
+}
+
+// Encode serializes the tag. Frames that do not fit the IP_OPTIONS budget
+// are dropped outermost-first and the truncated flag is set. Encode never
+// fails for in-range indexes; an index above MaxWideIndex is an error
+// because no legal dex layout can produce it (23 bits cover 128 dex files).
+func (t *Tag) Encode() ([]byte, error) {
+	wide := false
+	for _, idx := range t.Indexes {
+		if idx > MaxWideIndex {
+			return nil, fmt.Errorf("%w: index %d", ErrIndexTooLarge, idx)
+		}
+		if idx > MaxNarrowIndex {
+			wide = true
+		}
+	}
+	per := 2
+	max := MaxNarrowFrames
+	if wide {
+		per = 3
+		max = MaxWideFrames
+	}
+	indexes := t.Indexes
+	truncated := t.Truncated
+	if len(indexes) > max {
+		indexes = indexes[:max]
+		truncated = true
+	}
+	buf := make([]byte, HeaderSize, HeaderSize+len(indexes)*per)
+	flags := byte(0)
+	if t.DebugStripped {
+		flags |= FlagDebugStripped
+	}
+	if truncated {
+		flags |= FlagTruncated
+	}
+	buf[0] = Version<<4 | flags
+	copy(buf[1:], t.AppHash[:])
+	for _, idx := range indexes {
+		if wide {
+			buf = append(buf, 0x80|byte(idx>>16), byte(idx>>8), byte(idx))
+		} else {
+			buf = append(buf, byte(idx>>8), byte(idx))
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses a tag payload produced by Encode. It accepts mixed narrow
+// and wide indexes (the high bit of each index's first byte selects the
+// width), which keeps the decoder robust if an encoder chooses widths
+// per-index.
+func Decode(buf []byte) (Tag, error) {
+	var t Tag
+	if len(buf) < HeaderSize {
+		return t, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncatedTag, len(buf), HeaderSize)
+	}
+	if v := buf[0] >> 4; v != Version {
+		return t, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	flags := buf[0] & 0x0f
+	t.DebugStripped = flags&FlagDebugStripped != 0
+	t.Truncated = flags&FlagTruncated != 0
+	copy(t.AppHash[:], buf[1:HeaderSize])
+	rest := buf[HeaderSize:]
+	t.Indexes = make([]uint32, 0, len(rest)/2)
+	for len(rest) > 0 {
+		if rest[0]&0x80 != 0 {
+			if len(rest) < 3 {
+				return t, fmt.Errorf("%w: dangling wide index", ErrTruncatedTag)
+			}
+			t.Indexes = append(t.Indexes,
+				uint32(rest[0]&0x7f)<<16|uint32(rest[1])<<8|uint32(rest[2]))
+			rest = rest[3:]
+		} else {
+			if len(rest) < 2 {
+				return t, fmt.Errorf("%w: dangling narrow index", ErrTruncatedTag)
+			}
+			t.Indexes = append(t.Indexes, uint32(rest[0])<<8|uint32(rest[1]))
+			rest = rest[2:]
+		}
+	}
+	return t, nil
+}
+
+// String summarizes the tag for logs and policy-extractor output.
+func (t Tag) String() string {
+	return fmt.Sprintf("tag{app=%s frames=%d stripped=%v truncated=%v}",
+		t.AppHash, len(t.Indexes), t.DebugStripped, t.Truncated)
+}

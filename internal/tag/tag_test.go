@@ -1,0 +1,237 @@
+package tag
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"borderpatrol/internal/dex"
+)
+
+func testHash() dex.TruncatedHash {
+	var h dex.TruncatedHash
+	for i := range h {
+		h[i] = byte(0xa0 + i)
+	}
+	return h
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := Tag{
+		AppHash: testHash(),
+		Indexes: []uint32{0, 1, 512, MaxNarrowIndex},
+	}
+	buf, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(buf) != HeaderSize+4*2 {
+		t.Fatalf("narrow encoding size = %d, want %d", len(buf), HeaderSize+8)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.AppHash != orig.AppHash {
+		t.Error("app hash mismatch")
+	}
+	if len(got.Indexes) != len(orig.Indexes) {
+		t.Fatalf("index count %d, want %d", len(got.Indexes), len(orig.Indexes))
+	}
+	for i := range got.Indexes {
+		if got.Indexes[i] != orig.Indexes[i] {
+			t.Errorf("index %d = %d, want %d", i, got.Indexes[i], orig.Indexes[i])
+		}
+	}
+}
+
+func TestEncodeWideIndexes(t *testing.T) {
+	orig := Tag{AppHash: testHash(), Indexes: []uint32{70000, 1, MaxWideIndex}}
+	buf, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(buf) != HeaderSize+3*3 {
+		t.Fatalf("wide encoding size = %d, want %d", len(buf), HeaderSize+9)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for i := range orig.Indexes {
+		if got.Indexes[i] != orig.Indexes[i] {
+			t.Errorf("index %d = %d, want %d", i, got.Indexes[i], orig.Indexes[i])
+		}
+	}
+}
+
+func TestEncodeBudget(t *testing.T) {
+	// The encoded tag must always fit the IP_OPTIONS budget.
+	long := make([]uint32, 50)
+	for i := range long {
+		long[i] = uint32(i)
+	}
+	tg := Tag{AppHash: testHash(), Indexes: long}
+	buf, err := tg.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(buf) > MaxEncoded {
+		t.Fatalf("encoded %d bytes exceeds budget %d", len(buf), MaxEncoded)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Truncated {
+		t.Error("truncation flag not set")
+	}
+	if len(got.Indexes) != MaxNarrowFrames {
+		t.Fatalf("kept %d frames, want %d", len(got.Indexes), MaxNarrowFrames)
+	}
+	// Innermost frames (lowest positions) must be the ones kept.
+	for i := 0; i < MaxNarrowFrames; i++ {
+		if got.Indexes[i] != uint32(i) {
+			t.Fatalf("frame %d = %d; innermost frames must survive truncation", i, got.Indexes[i])
+		}
+	}
+}
+
+func TestEncodeWideBudget(t *testing.T) {
+	long := make([]uint32, 30)
+	for i := range long {
+		long[i] = uint32(70000 + i)
+	}
+	tg := Tag{AppHash: testHash(), Indexes: long}
+	buf, err := tg.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(buf) > MaxEncoded {
+		t.Fatalf("encoded %d bytes exceeds budget %d", len(buf), MaxEncoded)
+	}
+	got, _ := Decode(buf)
+	if len(got.Indexes) != MaxWideFrames {
+		t.Fatalf("kept %d wide frames, want %d", len(got.Indexes), MaxWideFrames)
+	}
+}
+
+func TestEncodeIndexTooLarge(t *testing.T) {
+	tg := Tag{AppHash: testHash(), Indexes: []uint32{MaxWideIndex + 1}}
+	if _, err := tg.Encode(); !errors.Is(err, ErrIndexTooLarge) {
+		t.Fatalf("err = %v, want ErrIndexTooLarge", err)
+	}
+}
+
+func TestDecodeFlags(t *testing.T) {
+	tg := Tag{AppHash: testHash(), Indexes: []uint32{3}, DebugStripped: true}
+	buf, err := tg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DebugStripped {
+		t.Error("debug-stripped flag lost")
+	}
+	if got.Truncated {
+		t.Error("spurious truncated flag")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncatedTag) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Decode(make([]byte, HeaderSize-1)); !errors.Is(err, ErrTruncatedTag) {
+		t.Errorf("short header: %v", err)
+	}
+	bad := make([]byte, HeaderSize)
+	bad[0] = 0x20 // version 2
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Dangling narrow index byte.
+	tg := Tag{AppHash: testHash(), Indexes: []uint32{1}}
+	buf, _ := tg.Encode()
+	if _, err := Decode(buf[:len(buf)-1]); !errors.Is(err, ErrTruncatedTag) {
+		t.Errorf("dangling narrow: %v", err)
+	}
+	// Dangling wide index bytes.
+	tg = Tag{AppHash: testHash(), Indexes: []uint32{70000}}
+	buf, _ = tg.Encode()
+	if _, err := Decode(buf[:len(buf)-1]); !errors.Is(err, ErrTruncatedTag) {
+		t.Errorf("dangling wide: %v", err)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	tg := Tag{AppHash: testHash(), Indexes: []uint32{1, 2}}
+	s := tg.String()
+	if !strings.Contains(s, "frames=2") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var h dex.TruncatedHash
+		r.Read(h[:])
+		n := r.Intn(MaxWideFrames + 1)
+		idx := make([]uint32, n)
+		wide := r.Intn(2) == 1
+		for i := range idx {
+			if wide {
+				idx[i] = uint32(r.Intn(MaxWideIndex + 1))
+			} else {
+				idx[i] = uint32(r.Intn(MaxNarrowIndex + 1))
+			}
+		}
+		orig := Tag{AppHash: h, Indexes: idx, DebugStripped: r.Intn(2) == 1}
+		buf, err := orig.Encode()
+		if err != nil || len(buf) > MaxEncoded {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if got.AppHash != h || got.DebugStripped != orig.DebugStripped || len(got.Indexes) != n {
+			return false
+		}
+		for i := range idx {
+			if got.Indexes[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic; errors are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Also fuzz around valid payload prefixes.
+	tg := Tag{AppHash: testHash(), Indexes: []uint32{1, 70000, 5}}
+	buf, _ := tg.Encode()
+	for i := 0; i <= len(buf); i++ {
+		_, _ = Decode(buf[:i])
+	}
+	if !bytes.Equal(buf[1:9], func() []byte { h := testHash(); return h[:] }()) {
+		t.Fatal("hash bytes not where expected")
+	}
+}

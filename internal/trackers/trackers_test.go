@@ -1,0 +1,92 @@
+package trackers
+
+import "testing"
+
+func TestCatalogSizeAndDeterminism(t *testing.T) {
+	a := Catalog()
+	b := Catalog()
+	if len(a) != CatalogSize {
+		t.Fatalf("catalog has %d entries, want %d", len(a), CatalogSize)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalog not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCatalogSortedByPopularity(t *testing.T) {
+	libs := Catalog()
+	for i := 1; i < len(libs); i++ {
+		if libs[i].Popularity > libs[i-1].Popularity {
+			t.Fatalf("catalog not popularity-sorted at %d", i)
+		}
+	}
+	if libs[0].Package != "com/flurry" {
+		t.Fatalf("most popular library = %s, want com/flurry", libs[0].Package)
+	}
+}
+
+func TestCatalogUniquePackages(t *testing.T) {
+	seen := make(map[string]bool, CatalogSize)
+	for _, l := range Catalog() {
+		if seen[l.Package] {
+			t.Fatalf("duplicate package %s", l.Package)
+		}
+		seen[l.Package] = true
+		if l.Package == "" || l.Category == 0 {
+			t.Fatalf("incomplete entry %+v", l)
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	top := TopN(60)
+	if len(top) != 60 {
+		t.Fatalf("TopN(60) returned %d", len(top))
+	}
+	all := TopN(CatalogSize + 10)
+	if len(all) != CatalogSize {
+		t.Fatalf("TopN over-capacity returned %d", len(all))
+	}
+	pkgs := Packages(top)
+	if len(pkgs) != 60 || pkgs[0] != top[0].Package {
+		t.Fatal("Packages mismatch")
+	}
+}
+
+func TestIndexMatch(t *testing.T) {
+	idx := NewIndex(Catalog())
+	cases := []struct {
+		path string
+		want string
+		hit  bool
+	}{
+		{"com/flurry", "com/flurry", true},
+		{"com/flurry/sdk", "com/flurry", true},
+		{"com/flurry/sdk/deep/Nested", "com/flurry", true},
+		{"com/flurryx/sdk", "", false},
+		{"com/example/app", "", false},
+		{"com/google/android/gms/analytics/internal", "com/google/android/gms/analytics", true},
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		lib, ok := idx.Match(tc.path)
+		if ok != tc.hit {
+			t.Errorf("Match(%q) hit=%v, want %v", tc.path, ok, tc.hit)
+			continue
+		}
+		if ok && lib.Package != tc.want {
+			t.Errorf("Match(%q) = %s, want %s", tc.path, lib.Package, tc.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Analytics.String() != "analytics" || Advertising.String() != "advertising" {
+		t.Error("category names")
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category must still render")
+	}
+}
