@@ -8,11 +8,17 @@ package borderpatrol
 
 import (
 	"fmt"
+	"net/netip"
 	"testing"
 	"time"
 
+	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
 )
 
@@ -223,6 +229,74 @@ func BenchmarkEnforcerThroughput(b *testing.B) {
 			b.Fatal("dropped")
 		}
 	}
+}
+
+// BenchmarkEnforcerThroughputParallel isolates the gateway's per-packet
+// pipeline — extraction, single-resolve stack decoding, compiled policy
+// evaluation — and drives it from every core at once against the §VI-B1
+// validation-scale rule set. Before this pipeline was compiled, the
+// engine's stats mutex serialized all cores; now throughput must scale
+// with GOMAXPROCS.
+func BenchmarkEnforcerThroughputParallel(b *testing.B) {
+	apk := &dex.APK{
+		PackageName: "com.corp.files",
+		VersionCode: 1,
+		Dexes: []*dex.File{{
+			Classes: []dex.ClassDef{{
+				Package: "com/corp/files",
+				Name:    "SyncEngine",
+				Methods: []dex.MethodDef{
+					{Name: "download", Proto: "()V", File: "S.java", StartLine: 10, EndLine: 20},
+					{Name: "upload", Proto: "()V", File: "S.java", StartLine: 30, EndLine: 40},
+				},
+			}},
+		}},
+	}
+	db := analyzer.NewDatabase()
+	if err := db.Add(apk); err != nil {
+		b.Fatal(err)
+	}
+	rules := make([]policy.Rule, 0, 1050)
+	for i := 0; i < 1050; i++ {
+		rules = append(rules, policy.Rule{
+			Action: policy.Deny,
+			Level:  policy.LevelLibrary,
+			Target: fmt.Sprintf("com/blocked/lib%04d", i),
+		})
+	}
+	eng, err := policy.NewEngine(rules, policy.VerdictAllow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enf := enforcer.New(enforcer.Config{}, db, eng)
+
+	tg := tag.Tag{AppHash: apk.Truncated(), Indexes: []uint32{0, 1}}
+	payload, err := tg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL:      64,
+			Protocol: ipv4.ProtoTCP,
+			Src:      netip.MustParseAddr("10.66.0.2"),
+			Dst:      netip.MustParseAddr("93.184.216.34"),
+		},
+		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+	}
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: payload})
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if res := enf.Process(pkt); res.Verdict != policy.VerdictAllow {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error("benign packet dropped")
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkOfflineAnalyzer measures database construction per app —

@@ -333,6 +333,12 @@ type DeploymentStats struct {
 	PacketsAccepted  uint64
 	PacketsDropped   uint64
 	PacketsCleansed  uint64
+	// PolicyEvaluations counts packets that reached the compiled policy
+	// engine (tagged, known app, decodable stack).
+	PolicyEvaluations uint64
+	// PolicyDefaultHits counts evaluations decided by the default verdict
+	// rather than an explicit rule.
+	PolicyDefaultHits uint64
 }
 
 // Stats snapshots counters across the Context Manager, Policy Enforcer and
@@ -341,13 +347,16 @@ func (d *Deployment) Stats() DeploymentStats {
 	cm := d.manager.Stats()
 	ef := d.enforcer.Stats()
 	sn := d.sanitizer.Stats()
+	pe := d.engine.Stats()
 	return DeploymentStats{
-		SocketsTagged:    cm.SocketsTagged,
-		TagFailures:      cm.TagFailures,
-		PacketsProcessed: ef.Processed,
-		PacketsAccepted:  ef.Accepted,
-		PacketsDropped:   ef.Dropped,
-		PacketsCleansed:  sn.Cleansed,
+		SocketsTagged:     cm.SocketsTagged,
+		TagFailures:       cm.TagFailures,
+		PacketsProcessed:  ef.Processed,
+		PacketsAccepted:   ef.Accepted,
+		PacketsDropped:    ef.Dropped,
+		PacketsCleansed:   sn.Cleansed,
+		PolicyEvaluations: pe.Evaluations,
+		PolicyDefaultHits: pe.DefaultHits,
 	}
 }
 

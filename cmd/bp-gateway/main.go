@@ -100,6 +100,13 @@ func run() error {
 			}
 		}
 	}
+	es := tb.Engine.Stats()
+	ruleHits := uint64(0)
+	for _, n := range es.RuleHits {
+		ruleHits += n
+	}
+	fmt.Printf("policy engine: evaluations=%d rule-hits=%d default-hits=%d\n",
+		es.Evaluations, ruleHits, es.DefaultHits)
 	cm := tb.Manager.Stats()
 	fmt.Printf("context manager: sockets tagged=%d, frames resolved=%d, framework frames filtered=%d\n",
 		cm.SocketsTagged, cm.FramesResolved, cm.FramesDropped)

@@ -1,0 +1,3 @@
+module borderpatrol
+
+go 1.22

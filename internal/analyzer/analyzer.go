@@ -48,11 +48,14 @@ type Database struct {
 	byTruncated map[dex.TruncatedHash]string
 }
 
+// entry is immutable once inserted: the Resolver hands out lock-free
+// references to it, so nothing may mutate sigs or index after AddEntry.
 type entry struct {
 	meta AppEntry
 	sigs []dex.Signature
-	// index maps canonical signature string to index for reverse lookups.
-	index map[string]uint32
+	// index maps parsed signatures to their index for reverse lookups
+	// without re-stringifying the probe signature.
+	index map[dex.Signature]uint32
 }
 
 // Errors returned by database operations.
@@ -112,7 +115,7 @@ func (db *Database) AddEntry(ae AppEntry) error {
 	e := &entry{
 		meta:  ae,
 		sigs:  make([]dex.Signature, len(ae.Signatures)),
-		index: make(map[string]uint32, len(ae.Signatures)),
+		index: make(map[dex.Signature]uint32, len(ae.Signatures)),
 	}
 	for i, raw := range ae.Signatures {
 		sig, err := dex.ParseSignature(raw)
@@ -120,7 +123,7 @@ func (db *Database) AddEntry(ae AppEntry) error {
 			return fmt.Errorf("analyzer: entry %s signature %d: %w", ae.Hash, i, err)
 		}
 		e.sigs[i] = sig
-		e.index[raw] = uint32(i)
+		e.index[sig] = uint32(i)
 	}
 	if len(ae.Hash) != 2*dex.HashSize {
 		return fmt.Errorf("analyzer: entry hash %q has %d hex digits, want %d", ae.Hash, len(ae.Hash), 2*dex.HashSize)
@@ -162,51 +165,106 @@ func (db *Database) LookupTruncated(t dex.TruncatedHash) (AppEntry, bool) {
 	return db.byFull[full].meta, true
 }
 
-// Decode maps one method index of an app (identified by truncated hash)
-// back to its signature — the enforcer's per-frame decoding step.
-func (db *Database) Decode(t dex.TruncatedHash, index uint32) (dex.Signature, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	full, ok := db.byTruncated[t]
-	if !ok {
-		return dex.Signature{}, fmt.Errorf("%w: %s", ErrUnknownApp, t)
-	}
-	e := db.byFull[full]
-	if int(index) >= len(e.sigs) {
-		return dex.Signature{}, fmt.Errorf("%w: %d >= %d for app %s", ErrUnknownIndex, index, len(e.sigs), t)
-	}
-	return e.sigs[index], nil
+// Resolver is a read-only handle to one app's signature table, resolved
+// from its truncated hash exactly once. Entries are immutable after
+// insertion, so every Resolver method runs lock-free: the per-packet hot
+// path pays one RLock in Resolve and then decodes an arbitrary number of
+// frames without touching the database again.
+type Resolver struct {
+	hash dex.TruncatedHash
+	e    *entry
 }
 
-// DecodeStack decodes a full index sequence into the stack trace of method
-// signatures, preserving order (paper §IV-A3 decoding stage).
-func (db *Database) DecodeStack(t dex.TruncatedHash, indexes []uint32) ([]dex.Signature, error) {
-	out := make([]dex.Signature, len(indexes))
-	for i, idx := range indexes {
-		sig, err := db.Decode(t, idx)
+// Resolve looks up the app behind a packet's truncated hash and returns a
+// lock-free handle to its signature table.
+func (db *Database) Resolve(t dex.TruncatedHash) (Resolver, bool) {
+	db.mu.RLock()
+	full, ok := db.byTruncated[t]
+	var e *entry
+	if ok {
+		e = db.byFull[full]
+	}
+	db.mu.RUnlock()
+	return Resolver{hash: t, e: e}, ok
+}
+
+// App returns the app's database record.
+func (r Resolver) App() AppEntry { return r.e.meta }
+
+// Len returns the number of methods in the app's signature table.
+func (r Resolver) Len() int { return len(r.e.sigs) }
+
+// Signature maps one method index back to its parsed signature.
+func (r Resolver) Signature(index uint32) (dex.Signature, error) {
+	if int(index) >= len(r.e.sigs) {
+		return dex.Signature{}, fmt.Errorf("%w: %d >= %d for app %s", ErrUnknownIndex, index, len(r.e.sigs), r.hash)
+	}
+	return r.e.sigs[index], nil
+}
+
+// SignatureString returns the cached canonical string for one method
+// index, so consumers that need the smali form (the Policy Extractor's
+// profile builder, tooling) never re-stringify decoded signatures.
+func (r Resolver) SignatureString(index uint32) (string, error) {
+	if int(index) >= len(r.e.meta.Signatures) {
+		return "", fmt.Errorf("%w: %d >= %d for app %s", ErrUnknownIndex, index, len(r.e.meta.Signatures), r.hash)
+	}
+	return r.e.meta.Signatures[index], nil
+}
+
+// Index maps a parsed signature to its method index.
+func (r Resolver) Index(sig dex.Signature) (uint32, error) {
+	idx, ok := r.e.index[sig]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownMethod, sig)
+	}
+	return idx, nil
+}
+
+// DecodeStackInto decodes an index sequence into dst (reusing its backing
+// array when capacity allows), preserving order. Steady-state per-packet
+// decoding through a retained buffer is allocation-free.
+func (r Resolver) DecodeStackInto(dst []dex.Signature, indexes []uint32) ([]dex.Signature, error) {
+	dst = dst[:0]
+	for _, idx := range indexes {
+		sig, err := r.Signature(idx)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = sig
+		dst = append(dst, sig)
 	}
-	return out, nil
+	return dst, nil
+}
+
+// Decode maps one method index of an app (identified by truncated hash)
+// back to its signature — the enforcer's per-frame decoding step.
+func (db *Database) Decode(t dex.TruncatedHash, index uint32) (dex.Signature, error) {
+	r, ok := db.Resolve(t)
+	if !ok {
+		return dex.Signature{}, fmt.Errorf("%w: %s", ErrUnknownApp, t)
+	}
+	return r.Signature(index)
+}
+
+// DecodeStack decodes a full index sequence into the stack trace of method
+// signatures, preserving order (paper §IV-A3 decoding stage). The app is
+// resolved once and the whole stack decodes under that single lookup.
+func (db *Database) DecodeStack(t dex.TruncatedHash, indexes []uint32) ([]dex.Signature, error) {
+	r, ok := db.Resolve(t)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, t)
+	}
+	return r.DecodeStackInto(make([]dex.Signature, 0, len(indexes)), indexes)
 }
 
 // Encode maps a signature to its index for an app — the Context Manager's
 // encoding step uses the identical table, so Encode(Decode(i)) == i.
 func (db *Database) Encode(t dex.TruncatedHash, sig dex.Signature) (uint32, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	full, ok := db.byTruncated[t]
+	r, ok := db.Resolve(t)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownApp, t)
 	}
-	e := db.byFull[full]
-	idx, ok := e.index[sig.String()]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownMethod, sig)
-	}
-	return idx, nil
+	return r.Index(sig)
 }
 
 // Hashes returns the full hashes of all apps, sorted, for deterministic
@@ -232,16 +290,10 @@ type jsonDB struct {
 // Save writes the database as JSON.
 func (db *Database) Save(w io.Writer) error {
 	doc := jsonDB{Version: 1}
+	hashes := db.Hashes()
 	db.mu.RLock()
-	doc.Apps = make([]AppEntry, 0, len(db.byFull))
-	for _, h := range func() []string {
-		hs := make([]string, 0, len(db.byFull))
-		for k := range db.byFull {
-			hs = append(hs, k)
-		}
-		sort.Strings(hs)
-		return hs
-	}() {
+	doc.Apps = make([]AppEntry, 0, len(hashes))
+	for _, h := range hashes {
 		doc.Apps = append(doc.Apps, db.byFull[h].meta)
 	}
 	db.mu.RUnlock()

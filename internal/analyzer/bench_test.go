@@ -69,6 +69,33 @@ func BenchmarkDecodeStack(b *testing.B) {
 	}
 }
 
+// Enforcement-path cost with the resolver handle: one lookup per packet,
+// lock-free per-frame decoding into a reused buffer (0 allocs steady
+// state).
+func BenchmarkResolverDecodeStackInto(b *testing.B) {
+	apk := buildBenchAPK(5000)
+	db := NewDatabase()
+	if err := db.Add(apk); err != nil {
+		b.Fatal(err)
+	}
+	tr := apk.Truncated()
+	indexes := []uint32{12, 871, 2400, 4999}
+	buf := make([]dex.Signature, 0, len(indexes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := db.Resolve(tr)
+		if !ok {
+			b.Fatal("resolve failed")
+		}
+		var err error
+		buf, err = r.DecodeStackInto(buf, indexes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Context-Manager-path cost: signature → index lookup.
 func BenchmarkEncodeLookup(b *testing.B) {
 	apk := buildBenchAPK(5000)

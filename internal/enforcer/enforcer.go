@@ -16,6 +16,7 @@ package enforcer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/dex"
@@ -53,6 +54,10 @@ const (
 	DropBadIndex
 	// DropPolicy is a packet denied by a policy rule (or default).
 	DropPolicy
+
+	// dropCauseCount sizes per-cause counters; keep it last so new causes
+	// automatically grow the counter array.
+	dropCauseCount
 )
 
 // String names the drop cause.
@@ -97,13 +102,20 @@ type Stats struct {
 }
 
 // Enforcer evaluates packets against a policy using a signature database.
+// It is safe for concurrent use and scales across cores: counters are
+// atomic and the per-packet tag scratch is pooled, so parallel Process
+// calls share no locks beyond the database's single resolve RLock.
 type Enforcer struct {
 	cfg    Config
 	db     *analyzer.Database
 	engine *policy.Engine
 
-	mu    sync.Mutex
-	stats Stats
+	tags sync.Pool // *tag.Tag scratch, reused across packets
+
+	processed      atomic.Uint64
+	accepted       atomic.Uint64
+	dropped        atomic.Uint64
+	droppedByCause [dropCauseCount]atomic.Uint64
 }
 
 // New builds an enforcer.
@@ -112,7 +124,7 @@ func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
 		cfg:    cfg,
 		db:     db,
 		engine: engine,
-		stats:  Stats{DroppedByCause: make(map[DropCause]uint64)},
+		tags:   sync.Pool{New: func() any { return new(tag.Tag) }},
 	}
 }
 
@@ -122,15 +134,15 @@ func (e *Enforcer) Engine() *policy.Engine { return e.engine }
 // Process runs the three enforcement stages on one packet.
 func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
 	res := e.process(pkt)
-	e.mu.Lock()
-	e.stats.Processed++
+	e.processed.Add(1)
 	if res.Verdict == policy.VerdictAllow {
-		e.stats.Accepted++
+		e.accepted.Add(1)
 	} else {
-		e.stats.Dropped++
-		e.stats.DroppedByCause[res.Cause]++
+		e.dropped.Add(1)
+		if res.Cause >= 0 && int(res.Cause) < len(e.droppedByCause) {
+			e.droppedByCause[res.Cause].Add(1)
+		}
 	}
-	e.mu.Unlock()
 	return res
 }
 
@@ -143,19 +155,22 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 		}
 		return Result{Verdict: policy.VerdictDrop, Cause: DropUntagged}
 	}
-	decoded, err := tag.Decode(opt.Data)
-	if err != nil {
+	decoded := e.tags.Get().(*tag.Tag)
+	defer e.tags.Put(decoded)
+	if err := tag.DecodeInto(decoded, opt.Data); err != nil {
 		return Result{Verdict: policy.VerdictDrop, Cause: DropMalformedTag}
 	}
 
-	// Stage 2: decoding via the analyzer database.
-	if _, known := e.db.LookupTruncated(decoded.AppHash); !known {
+	// Stage 2: decoding via the analyzer database — the app resolves once
+	// and the whole stack decodes through the lock-free handle.
+	resolver, known := e.db.Resolve(decoded.AppHash)
+	if !known {
 		if e.cfg.AllowUnknownApps {
 			return Result{Verdict: policy.VerdictAllow, AppHash: decoded.AppHash}
 		}
 		return Result{Verdict: policy.VerdictDrop, Cause: DropUnknownApp, AppHash: decoded.AppHash}
 	}
-	stack, err := e.db.DecodeStack(decoded.AppHash, decoded.Indexes)
+	stack, err := resolver.DecodeStackInto(make([]dex.Signature, 0, len(decoded.Indexes)), decoded.Indexes)
 	if err != nil {
 		return Result{Verdict: policy.VerdictDrop, Cause: DropBadIndex, AppHash: decoded.AppHash}
 	}
@@ -176,16 +191,16 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 
 // Stats returns a snapshot of the counters.
 func (e *Enforcer) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := Stats{
-		Processed:      e.stats.Processed,
-		Accepted:       e.stats.Accepted,
-		Dropped:        e.stats.Dropped,
-		DroppedByCause: make(map[DropCause]uint64, len(e.stats.DroppedByCause)),
+		Processed:      e.processed.Load(),
+		Accepted:       e.accepted.Load(),
+		Dropped:        e.dropped.Load(),
+		DroppedByCause: make(map[DropCause]uint64),
 	}
-	for k, v := range e.stats.DroppedByCause {
-		out.DroppedByCause[k] = v
+	for c := range e.droppedByCause {
+		if n := e.droppedByCause[c].Load(); n > 0 {
+			out.DroppedByCause[DropCause(c)] = n
+		}
 	}
 	return out
 }

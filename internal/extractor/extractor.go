@@ -27,7 +27,8 @@ type Profile struct {
 }
 
 // BuildProfile decodes every tagged packet in a capture into its stack
-// signatures.
+// signatures. The app resolves once per packet and the canonical strings
+// come straight from the analyzer's cached table — no re-stringifying.
 func BuildProfile(packets []*ipv4.Packet, db *analyzer.Database) (*Profile, error) {
 	p := &Profile{Signatures: make(map[string]int)}
 	for _, pkt := range packets {
@@ -39,13 +40,30 @@ func BuildProfile(packets []*ipv4.Packet, db *analyzer.Database) (*Profile, erro
 		if err != nil {
 			continue
 		}
-		sigs, err := db.DecodeStack(decoded.AppHash, decoded.Indexes)
-		if err != nil {
+		r, known := db.Resolve(decoded.AppHash)
+		if !known {
+			continue
+		}
+		// Validate the whole stack before counting anything, preserving the
+		// all-or-nothing semantics of decoding: a packet with any bad index
+		// contributes no signatures.
+		ok = true
+		for _, idx := range decoded.Indexes {
+			if int(idx) >= r.Len() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			continue
 		}
 		p.Packets++
-		for _, s := range sigs {
-			p.Signatures[s.String()]++
+		for _, idx := range decoded.Indexes {
+			raw, err := r.SignatureString(idx)
+			if err != nil {
+				return nil, err // unreachable: indexes validated above
+			}
+			p.Signatures[raw]++
 		}
 	}
 	return p, nil

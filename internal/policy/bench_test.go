@@ -43,6 +43,62 @@ func BenchmarkEngine10Rules(b *testing.B)   { benchmarkEngineRules(b, 10) }
 func BenchmarkEngine100Rules(b *testing.B)  { benchmarkEngineRules(b, 100) }
 func BenchmarkEngine1050Rules(b *testing.B) { benchmarkEngineRules(b, 1050) }
 
+// BenchmarkEngine1050RulesParallel runs the §VI-B1 validation-scale rule
+// set from all cores at once: with atomic counters and the lock-free
+// compiled rule set, throughput must scale with GOMAXPROCS instead of
+// serializing on a stats mutex.
+func BenchmarkEngine1050RulesParallel(b *testing.B) {
+	rules := make([]Rule, 0, 1050)
+	for i := 0; i < 1050; i++ {
+		rules = append(rules, Rule{
+			Action: Deny,
+			Level:  LevelLibrary,
+			Target: fmt.Sprintf("com/blocked/lib%04d", i),
+		})
+	}
+	eng, err := NewEngine(rules, VerdictAllow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack := []dex.Signature{
+		{Package: "com/benign/app", Class: "Main", Name: "sync", Proto: "()V"},
+		{Package: "org/apache/http/client", Class: "HttpClient", Name: "execute", Proto: "()V"},
+	}
+	var h dex.TruncatedHash
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if d := eng.Evaluate(h, stack); d.Verdict != VerdictAllow {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error("unexpected drop")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCompile1050Rules measures the reconfiguration cost the compiler
+// moved out of the packet path: building the indexes for the validation
+// rule set.
+func BenchmarkCompile1050Rules(b *testing.B) {
+	rules := make([]Rule, 0, 1050)
+	for i := 0; i < 1050; i++ {
+		rules = append(rules, Rule{
+			Action: Deny,
+			Level:  LevelLibrary,
+			Target: fmt.Sprintf("com/blocked/lib%04d", i),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compileRules(rules); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineFirstRuleHit is the best case: the first rule decides.
 func BenchmarkEngineFirstRuleHit(b *testing.B) {
 	rules := make([]Rule, 1050)

@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"borderpatrol/internal/dex"
 )
@@ -40,113 +41,85 @@ type Decision struct {
 }
 
 // Engine evaluates ordered rules with a configurable default action. It is
-// safe for concurrent use: rule updates take a write lock, evaluation a
-// read lock — matching the paper's "reconfigurability" design goal (§IV),
-// where administrators update policies centrally while traffic flows.
+// safe for concurrent use and lock-free on the evaluation path: SetRules
+// compiles the rule set into index structures and publishes the compiled
+// form with an atomic pointer swap — matching the paper's
+// "reconfigurability" design goal (§IV), where administrators update
+// policies centrally while traffic flows, without ever stalling it.
 type Engine struct {
-	mu          sync.RWMutex
-	rules       []Rule
-	defaultV    Verdict
-	evaluations uint64
-	defaultHits uint64
-	ruleHits    map[int]uint64
+	// mu serializes writers (SetRules); readers never take it.
+	mu       sync.Mutex
+	compiled atomic.Pointer[compiledRules]
+
+	defaultV  Verdict
+	defReason string
+
+	evaluations atomic.Uint64
+	defaultHits atomic.Uint64
 }
 
-// NewEngine builds an engine with the given ordered rules. defaultVerdict
-// applies when no rule is decisive.
+// NewEngine builds an engine with the given ordered rules, compiled for
+// per-packet evaluation. defaultVerdict applies when no rule is decisive.
 func NewEngine(rules []Rule, defaultVerdict Verdict) (*Engine, error) {
-	for i, r := range rules {
-		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("policy: rule %d: %w", i, err)
-		}
-	}
 	if defaultVerdict != VerdictAllow && defaultVerdict != VerdictDrop {
 		return nil, fmt.Errorf("policy: invalid default verdict %d", defaultVerdict)
 	}
-	return &Engine{
-		rules:    append([]Rule(nil), rules...),
-		defaultV: defaultVerdict,
-		ruleHits: make(map[int]uint64, len(rules)),
-	}, nil
+	c, err := compileRules(rules)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		defaultV:  defaultVerdict,
+		defReason: fmt.Sprintf("default %s", defaultVerdict),
+	}
+	e.compiled.Store(c)
+	return e, nil
 }
 
 // SetRules atomically replaces the rule set (central reconfiguration).
+// In-flight evaluations finish against the rule set they started with;
+// per-rule hit counters restart for the new set.
 func (e *Engine) SetRules(rules []Rule) error {
-	for i, r := range rules {
-		if err := r.Validate(); err != nil {
-			return fmt.Errorf("policy: rule %d: %w", i, err)
-		}
+	c, err := compileRules(rules)
+	if err != nil {
+		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.rules = append([]Rule(nil), rules...)
-	e.ruleHits = make(map[int]uint64, len(rules))
+	e.compiled.Store(c)
 	return nil
 }
 
 // Rules returns a copy of the current rule set.
 func (e *Engine) Rules() []Rule {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return append([]Rule(nil), e.rules...)
+	return append([]Rule(nil), e.compiled.Load().rules...)
 }
 
 // Default returns the engine's default verdict.
-func (e *Engine) Default() Verdict {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.defaultV
-}
+func (e *Engine) Default() Verdict { return e.defaultV }
 
 // Evaluate decides the fate of a packet given its decoded context: the
 // app's truncated hash and the stack-trace signatures. Rules are evaluated
 // in order; the first decisive rule wins (a matching deny drops, a
-// fully-matching allow admits); otherwise the default applies.
+// fully-matching allow admits); otherwise the default applies. The rules
+// were compiled ahead of time, so evaluation is a few map and prefix
+// probes with no locking, parsing, or allocation.
 func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Decision {
-	// Snapshot the rule set; SetRules replaces the slice wholesale, so the
-	// snapshot stays consistent while matching runs lock-free.
-	e.mu.RLock()
-	rules := e.rules
-	def := e.defaultV
-	e.mu.RUnlock()
+	c := e.compiled.Load()
+	decisive := c.evaluate(appHash, stack)
 
-	decisive := -1
-	var decision Decision
-	for i := range rules {
-		r := &rules[i]
-		if !r.Matches(appHash, stack) {
-			continue
+	e.evaluations.Add(1)
+	if decisive < len(c.rules) {
+		c.hits[decisive].Add(1)
+		r := &c.rules[decisive]
+		v := VerdictDrop
+		if r.Action == Allow {
+			v = VerdictAllow
 		}
-		decisive = i
-		switch r.Action {
-		case Deny:
-			decision = Decision{
-				Verdict: VerdictDrop,
-				Rule:    r,
-				Reason:  fmt.Sprintf("deny rule %s matched", r),
-			}
-		case Allow:
-			decision = Decision{
-				Verdict: VerdictAllow,
-				Rule:    r,
-				Reason:  fmt.Sprintf("allow rule %s satisfied by all frames", r),
-			}
-		}
-		break
+		return Decision{Verdict: v, Rule: r, Reason: c.reasons[decisive]}
 	}
-	if decisive < 0 {
-		decision = Decision{Verdict: def, Reason: fmt.Sprintf("default %s", def)}
-	}
-
-	e.mu.Lock()
-	e.evaluations++
-	if decisive >= 0 {
-		e.ruleHits[decisive]++
-	} else {
-		e.defaultHits++
-	}
-	e.mu.Unlock()
-	return decision
+	e.defaultHits.Add(1)
+	return Decision{Verdict: e.defaultV, Reason: e.defReason}
 }
 
 // Stats reports evaluation counters for monitoring.
@@ -156,13 +129,19 @@ type Stats struct {
 	RuleHits    map[int]uint64
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. RuleHits carries the
+// rules of the current compiled set that decided at least one packet.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	hits := make(map[int]uint64, len(e.ruleHits))
-	for k, v := range e.ruleHits {
-		hits[k] = v
+	c := e.compiled.Load()
+	hits := make(map[int]uint64, len(c.hits))
+	for i := range c.hits {
+		if n := c.hits[i].Load(); n > 0 {
+			hits[i] = n
+		}
 	}
-	return Stats{Evaluations: e.evaluations, DefaultHits: e.defaultHits, RuleHits: hits}
+	return Stats{
+		Evaluations: e.evaluations.Load(),
+		DefaultHits: e.defaultHits.Load(),
+		RuleHits:    hits,
+	}
 }

@@ -1,0 +1,79 @@
+package tag
+
+import (
+	"reflect"
+	"testing"
+
+	"borderpatrol/internal/dex"
+)
+
+// TestDecodeIntoReusesBuffer verifies the allocation-free per-packet
+// decode: a retained Tag's index buffer is reused across payloads and
+// stale state from the previous packet never leaks into the next.
+func TestDecodeIntoReusesBuffer(t *testing.T) {
+	var h dex.TruncatedHash
+	for i := range h {
+		h[i] = byte(i + 1)
+	}
+	first := Tag{AppHash: h, Indexes: []uint32{1, 70000, 3}, DebugStripped: true}
+	firstBuf, err := first.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := Tag{Indexes: []uint32{9}}
+	secondBuf, err := second.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scratch Tag
+	if err := DecodeInto(&scratch, firstBuf); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.AppHash != h || !scratch.DebugStripped ||
+		!reflect.DeepEqual(scratch.Indexes, []uint32{1, 70000, 3}) {
+		t.Fatalf("first decode = %+v", scratch)
+	}
+	keep := &scratch.Indexes[0]
+	if err := DecodeInto(&scratch, secondBuf); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.DebugStripped || scratch.Truncated {
+		t.Fatalf("stale flags leaked: %+v", scratch)
+	}
+	if scratch.AppHash != (dex.TruncatedHash{}) || !reflect.DeepEqual(scratch.Indexes, []uint32{9}) {
+		t.Fatalf("second decode = %+v", scratch)
+	}
+	if keep != &scratch.Indexes[0] {
+		t.Fatal("index buffer was reallocated despite sufficient capacity")
+	}
+
+	// Steady state through a retained scratch tag must not allocate.
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := DecodeInto(&scratch, firstBuf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeInto allocates %.1f per op", avg)
+	}
+}
+
+// TestDecodeIntoMatchesDecode cross-checks the two entry points.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	src := Tag{Indexes: []uint32{0, 32767, 32768, MaxWideIndex}, Truncated: true}
+	buf, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Tag
+	if err := DecodeInto(&got, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("DecodeInto = %+v, Decode = %+v", got, want)
+	}
+}

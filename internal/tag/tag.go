@@ -127,35 +127,49 @@ func (t *Tag) Encode() ([]byte, error) {
 // per-index.
 func Decode(buf []byte) (Tag, error) {
 	var t Tag
+	err := DecodeInto(&t, buf)
+	return t, err
+}
+
+// DecodeInto parses a tag payload into t, reusing t's Indexes backing
+// array when its capacity suffices. The per-packet decode on the enforcer
+// hot path feeds a retained Tag through here, making steady-state
+// decoding allocation-free.
+func DecodeInto(t *Tag, buf []byte) error {
+	t.Indexes = t.Indexes[:0]
+	t.DebugStripped = false
+	t.Truncated = false
 	if len(buf) < HeaderSize {
-		return t, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncatedTag, len(buf), HeaderSize)
+		return fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncatedTag, len(buf), HeaderSize)
 	}
 	if v := buf[0] >> 4; v != Version {
-		return t, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	flags := buf[0] & 0x0f
 	t.DebugStripped = flags&FlagDebugStripped != 0
 	t.Truncated = flags&FlagTruncated != 0
 	copy(t.AppHash[:], buf[1:HeaderSize])
 	rest := buf[HeaderSize:]
-	t.Indexes = make([]uint32, 0, len(rest)/2)
+	if t.Indexes == nil {
+		t.Indexes = make([]uint32, 0, len(rest)/2)
+	}
 	for len(rest) > 0 {
 		if rest[0]&0x80 != 0 {
 			if len(rest) < 3 {
-				return t, fmt.Errorf("%w: dangling wide index", ErrTruncatedTag)
+				return fmt.Errorf("%w: dangling wide index", ErrTruncatedTag)
 			}
 			t.Indexes = append(t.Indexes,
 				uint32(rest[0]&0x7f)<<16|uint32(rest[1])<<8|uint32(rest[2]))
 			rest = rest[3:]
 		} else {
 			if len(rest) < 2 {
-				return t, fmt.Errorf("%w: dangling narrow index", ErrTruncatedTag)
+				return fmt.Errorf("%w: dangling narrow index", ErrTruncatedTag)
 			}
 			t.Indexes = append(t.Indexes, uint32(rest[0])<<8|uint32(rest[1]))
 			rest = rest[2:]
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // String summarizes the tag for logs and policy-extractor output.
