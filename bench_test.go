@@ -17,8 +17,11 @@ import (
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
 	"borderpatrol/internal/tag"
 )
 
@@ -234,10 +237,31 @@ func BenchmarkEnforcerThroughput(b *testing.B) {
 // BenchmarkEnforcerThroughputParallel isolates the gateway's per-packet
 // pipeline — extraction, single-resolve stack decoding, compiled policy
 // evaluation — and drives it from every core at once against the §VI-B1
-// validation-scale rule set. Before this pipeline was compiled, the
-// engine's stats mutex serialized all cores; now throughput must scale
-// with GOMAXPROCS.
+// validation-scale rule set, without a flow cache (the uncached
+// reference for the flow-table benchmarks below). Before this pipeline
+// was compiled, the engine's stats mutex serialized all cores; now
+// throughput must scale with GOMAXPROCS.
 func BenchmarkEnforcerThroughputParallel(b *testing.B) {
+	enf, pkt := benchPipeline(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if res := enf.Process(pkt); res.Verdict != policy.VerdictAllow {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error("benign packet dropped")
+				return
+			}
+		}
+	})
+}
+
+// benchPipeline builds the validation-scale enforcer + a tagged packet
+// for the gateway hot-path benchmarks: one fixture for both the uncached
+// reference and the flow-cached fast path, so the comparison always
+// measures the same workload.
+func benchPipeline(b *testing.B, cached bool) (*enforcer.Enforcer, *ipv4.Packet) {
+	b.Helper()
 	apk := &dex.APK{
 		PackageName: "com.corp.files",
 		VersionCode: 1,
@@ -268,7 +292,11 @@ func BenchmarkEnforcerThroughputParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	enf := enforcer.New(enforcer.Config{}, db, eng)
+	cfg := enforcer.Config{}
+	if cached {
+		cfg.Flows = enforcer.NewFlowCache(flowtable.Config{})
+	}
+	enf := enforcer.New(cfg, db, eng)
 
 	tg := tag.Tag{AppHash: apk.Truncated(), Indexes: []uint32{0, 1}}
 	payload, err := tg.Encode()
@@ -285,18 +313,52 @@ func BenchmarkEnforcerThroughputParallel(b *testing.B) {
 		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
 	}
 	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: payload})
+	return enf, pkt
+}
 
+// BenchmarkEnforcerFlowCacheHitParallel is the flow-table acceptance
+// benchmark at deployment scale: the §VI-B1 rule set behind a warmed flow
+// cache, driven from every core. Each packet is one shard probe — no tag
+// decode, no stack decode, no Evaluate.
+func BenchmarkEnforcerFlowCacheHitParallel(b *testing.B) {
+	enf, pkt := benchPipeline(b, true)
+	enf.Process(pkt) // warm the flow
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if res := enf.Process(pkt); res.Verdict != policy.VerdictAllow {
-				// b.Fatal must not run off the benchmark goroutine.
 				b.Error("benign packet dropped")
 				return
 			}
 		}
 	})
+}
+
+// BenchmarkGatewayBatchDrain pushes 256-packet keep-alive bursts through
+// the full gateway (netfilter batch traversal, per-core drain, enforcer
+// batch memo, sanitizer). Reported ns/op is per packet.
+func BenchmarkGatewayBatchDrain(b *testing.B) {
+	enf, pkt := benchPipeline(b, true)
+	gw := netsim.NewGateway(netsim.GatewayConfig{
+		Enforcer:  enf,
+		Sanitizer: sanitizer.New(sanitizer.Config{}),
+	})
+	burst := make([]*ipv4.Packet, 256)
+	for i := range burst {
+		burst[i] = pkt
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(burst) {
+		out, err := gw.ProcessBatch(burst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out[0].Out == nil {
+			b.Fatal("benign packet dropped")
+		}
+	}
 }
 
 // BenchmarkOfflineAnalyzer measures database construction per app —

@@ -33,6 +33,7 @@ import (
 	"io"
 	"net/netip"
 	"strings"
+	"time"
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/android"
@@ -42,6 +43,7 @@ import (
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/httpsim"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
@@ -136,6 +138,16 @@ type DeploymentConfig struct {
 	// HardenedKernel enables the set-once IP_OPTIONS protection against
 	// tag replay (§VII). Defaults to true.
 	HardenedKernel *bool
+	// FlowCacheSize bounds the gateway's per-flow verdict cache: 0 selects
+	// the default (65,536 flows), a negative value disables caching so
+	// every packet pays the full decode+evaluate pipeline.
+	FlowCacheSize int
+	// FlowTTL expires cached flow verdicts after this much virtual time
+	// (0 selects the default of one minute).
+	FlowTTL time.Duration
+	// GatewayWorkers sizes the gateway's per-core batch drain (0 selects
+	// GOMAXPROCS).
+	GatewayWorkers int
 	// DeviceAddr overrides the device network address.
 	DeviceAddr netip.Addr
 	// AuditWriter receives one JSON line per enforcement decision (nil
@@ -213,10 +225,26 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 
 	db := analyzer.NewDatabase()
-	enf := enforcer.New(enforcer.Config{AllowUntagged: cfg.AllowUntagged}, db, engine)
-	san := sanitizer.New(sanitizer.Config{})
 	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
-	network.Gateway = netsim.NewGateway(netsim.GatewayConfig{Enforcer: enf, Sanitizer: san})
+	enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged}
+	if cfg.FlowCacheSize >= 0 {
+		ttl := cfg.FlowTTL
+		if ttl == 0 {
+			ttl = time.Minute // virtual time; keep-alive flows stay warm
+		}
+		enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{
+			Capacity: cfg.FlowCacheSize, // 0 = flowtable default
+			TTL:      ttl,
+			Clock:    network.Clock,
+		})
+	}
+	enf := enforcer.New(enfCfg, db, engine)
+	san := sanitizer.New(sanitizer.Config{})
+	network.Gateway = netsim.NewGateway(netsim.GatewayConfig{
+		Enforcer:  enf,
+		Sanitizer: san,
+		Workers:   cfg.GatewayWorkers,
+	})
 
 	return &Deployment{
 		device:    device,
@@ -296,9 +324,20 @@ func (d *Deployment) ExerciseVia(app *App, functionality string, route Route) ([
 	if err != nil {
 		return nil, fmt.Errorf("borderpatrol: %w", err)
 	}
+	var deliveries []netsim.Delivery
+	if route == RouteDirect {
+		// On-premises bursts ride the batched per-core gateway drain: one
+		// queue transition for the invocation's packets, flow-cache hits
+		// for every packet after a flow's first.
+		deliveries = d.network.DeliverBatch(res.Packets)
+	} else {
+		deliveries = make([]netsim.Delivery, 0, len(res.Packets))
+		for _, pkt := range res.Packets {
+			deliveries = append(deliveries, d.network.DeliverRoute(pkt, route))
+		}
+	}
 	out := make([]Outcome, 0, len(res.Packets))
-	for _, pkt := range res.Packets {
-		del := d.network.DeliverRoute(pkt, route)
+	for i, del := range deliveries {
 		o := Outcome{Delivered: del.Delivered}
 		if !del.Delivered {
 			o.DropStage = del.Stage.String()
@@ -310,7 +349,7 @@ func (d *Deployment) ExerciseVia(app *App, functionality string, route Route) ([
 			} else {
 				o.Reason = del.Enforcement.Cause.String()
 			}
-			d.audit.Record(pkt, *del.Enforcement)
+			d.audit.Record(res.Packets[i], *del.Enforcement)
 		}
 		out = append(out, o)
 	}
@@ -339,6 +378,16 @@ type DeploymentStats struct {
 	// PolicyDefaultHits counts evaluations decided by the default verdict
 	// rather than an explicit rule.
 	PolicyDefaultHits uint64
+	// FlowCacheHits counts packets answered by the per-flow verdict cache
+	// (plus the batch drain's same-flow memo) without decoding anything.
+	FlowCacheHits uint64
+	// FlowCacheMisses counts packets that paid the full pipeline and
+	// (re)filled the cache.
+	FlowCacheMisses uint64
+	// FlowCacheEvictions counts flows evicted under capacity pressure.
+	FlowCacheEvictions uint64
+	// FlowsLive is the number of flows currently cached.
+	FlowsLive int
 }
 
 // Stats snapshots counters across the Context Manager, Policy Enforcer and
@@ -349,14 +398,18 @@ func (d *Deployment) Stats() DeploymentStats {
 	sn := d.sanitizer.Stats()
 	pe := d.engine.Stats()
 	return DeploymentStats{
-		SocketsTagged:     cm.SocketsTagged,
-		TagFailures:       cm.TagFailures,
-		PacketsProcessed:  ef.Processed,
-		PacketsAccepted:   ef.Accepted,
-		PacketsDropped:    ef.Dropped,
-		PacketsCleansed:   sn.Cleansed,
-		PolicyEvaluations: pe.Evaluations,
-		PolicyDefaultHits: pe.DefaultHits,
+		SocketsTagged:      cm.SocketsTagged,
+		TagFailures:        cm.TagFailures,
+		PacketsProcessed:   ef.Processed,
+		PacketsAccepted:    ef.Accepted,
+		PacketsDropped:     ef.Dropped,
+		PacketsCleansed:    sn.Cleansed,
+		PolicyEvaluations:  pe.Evaluations,
+		PolicyDefaultHits:  pe.DefaultHits,
+		FlowCacheHits:      ef.Flow.Hits + ef.BatchMemoHits,
+		FlowCacheMisses:    ef.Flow.Misses,
+		FlowCacheEvictions: ef.Flow.Evictions,
+		FlowsLive:          ef.Flow.Live,
 	}
 }
 

@@ -8,6 +8,8 @@
 //
 //	bp-gateway -policy policy.bp -apps 20 -events 1000
 //	bp-gateway -apps 5            # empty policy: only untagged traffic drops
+//	bp-gateway -workers 8         # size the batched per-core queue drain
+//	bp-gateway -no-flow-cache     # force the uncached per-packet pipeline
 package main
 
 import (
@@ -34,6 +36,8 @@ func run() error {
 	apps := flag.Int("apps", 20, "number of corpus apps to install")
 	events := flag.Int("events", 1000, "monkey events per app")
 	seed := flag.Int64("seed", 2019, "corpus + monkey seed")
+	workers := flag.Int("workers", 0, "gateway batch-drain workers (0 = GOMAXPROCS)")
+	noFlowCache := flag.Bool("no-flow-cache", false, "disable per-flow verdict caching")
 	flag.Parse()
 
 	var rules []policy.Rule
@@ -58,9 +62,11 @@ func run() error {
 		return err
 	}
 	tb, err := experiments.NewTestbed(corpus, experiments.TestbedConfig{
-		EnforcementOn:  true,
-		Rules:          rules,
-		DefaultVerdict: policy.VerdictAllow,
+		EnforcementOn:    true,
+		Rules:            rules,
+		DefaultVerdict:   policy.VerdictAllow,
+		DisableFlowCache: *noFlowCache,
+		GatewayWorkers:   *workers,
 	})
 	if err != nil {
 		return err
@@ -76,12 +82,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, pkt := range rep.Packets {
-			totalPackets++
-			if tb.Network.Deliver(pkt).Delivered {
-				delivered++
-			}
-		}
+		// Drain the app's whole monkey session as one burst through the
+		// batched per-core gateway pipeline.
+		totalPackets += len(rep.Packets)
+		d, _ := tb.DeliverAll(rep.Packets)
+		delivered += d
 	}
 
 	fmt.Printf("\ngateway session: %d apps, %d monkey events each\n", len(tb.Apps), *events)
@@ -100,6 +105,9 @@ func run() error {
 			}
 		}
 	}
+	fl := st.Flow
+	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d live flows\n",
+		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.Live)
 	es := tb.Engine.Stats()
 	ruleHits := uint64(0)
 	for _, n := range es.RuleHits {

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"borderpatrol/internal/dex"
 )
@@ -41,6 +42,10 @@ type AppEntry struct {
 // while new apps are provisioned.
 type Database struct {
 	mu sync.RWMutex
+	// generation counts successful mutations; flow-verdict caches key
+	// their entries on it so provisioning a new app invalidates any
+	// verdict that depended on the app being unknown.
+	generation atomic.Uint64
 	// byFull maps full 32-hex MD5 to entry.
 	byFull map[string]*entry
 	// byTruncated maps the 8-byte packet identifier to the full hash.
@@ -143,8 +148,15 @@ func (db *Database) AddEntry(ae AppEntry) error {
 	}
 	db.byFull[ae.Hash] = e
 	db.byTruncated[trunc] = ae.Hash
+	// Bump the generation only after the entry is resolvable, so a reader
+	// observing the new generation re-evaluates against the new entry.
+	db.generation.Add(1)
 	return nil
 }
+
+// Generation returns the number of successful mutations so far. Verdict
+// caches store it with each entry and treat any change as invalidation.
+func (db *Database) Generation() uint64 { return db.generation.Load() }
 
 // Len returns the number of apps in the database.
 func (db *Database) Len() int {

@@ -1,0 +1,163 @@
+package enforcer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/flowtable"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/tag"
+)
+
+// benchEnforcer builds an enforcer against the §VI-B1 validation-scale
+// rule set (1,050 library deny rules), optionally with a flow cache.
+func benchEnforcer(b *testing.B, cached bool) (*Enforcer, *ipv4.Packet) {
+	b.Helper()
+	apk := testAPK()
+	db := analyzer.NewDatabase()
+	if err := db.Add(apk); err != nil {
+		b.Fatal(err)
+	}
+	rules := make([]policy.Rule, 0, 1050)
+	for i := 0; i < 1050; i++ {
+		rules = append(rules, policy.Rule{
+			Action: policy.Deny,
+			Level:  policy.LevelLibrary,
+			Target: fmt.Sprintf("com/blocked/lib%04d", i),
+		})
+	}
+	eng, err := policy.NewEngine(rules, policy.VerdictAllow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{}
+	if cached {
+		cfg.Flows = NewFlowCache(flowtable.Config{Capacity: 65536})
+	}
+	e := New(cfg, db, eng)
+
+	tg := tag.Tag{AppHash: apk.Truncated(), Indexes: []uint32{0, 1}}
+	payload, err := tg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL:      64,
+			Protocol: ipv4.ProtoTCP,
+			Src:      netip.MustParseAddr("10.66.0.2"),
+			Dst:      netip.MustParseAddr("93.184.216.34"),
+		},
+		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+	}
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: payload})
+	return e, pkt
+}
+
+// BenchmarkProcessFlowHit is the acceptance benchmark for the flow table:
+// every iteration after the first is a cache hit, so the per-packet cost
+// is one shard probe — no tag decode, no stack decode, no Evaluate.
+func BenchmarkProcessFlowHit(b *testing.B) {
+	e, pkt := benchEnforcer(b, true)
+	e.Process(pkt) // warm the flow
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
+}
+
+// BenchmarkProcessFlowHitParallel drives the hot flow from every core.
+func BenchmarkProcessFlowHitParallel(b *testing.B) {
+	e, pkt := benchEnforcer(b, true)
+	e.Process(pkt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+				b.Error("benign packet dropped")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkProcessFlowMiss forces a distinct flow every iteration (the
+// destination address rotates) so each packet pays the full pipeline plus
+// the cache fill — the worst case for the flow table.
+func BenchmarkProcessFlowMiss(b *testing.B) {
+	e, pkt := benchEnforcer(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a [4]byte
+		binary.BigEndian.PutUint32(a[:], uint32(i))
+		pkt.Header.Dst = netip.AddrFrom4(a)
+		if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
+}
+
+// BenchmarkProcessNoCache is the PR 1 reference path (miss-path cost
+// without any flow table), for the before/after comparison.
+func BenchmarkProcessNoCache(b *testing.B) {
+	e, pkt := benchEnforcer(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
+}
+
+// BenchmarkProcessBatchKeepAlive enforces 64-packet batches of one flow —
+// the §VI-D keep-alive train — through the batch memo. Reported ns/op is
+// per packet.
+func BenchmarkProcessBatchKeepAlive(b *testing.B) {
+	e, pkt := benchEnforcer(b, true)
+	batch := make([]*ipv4.Packet, 64)
+	for i := range batch {
+		batch[i] = pkt
+	}
+	var out []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		out = e.ProcessBatch(batch, out)
+		if out[0].Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
+}
+
+// BenchmarkProcessBatchMixedFlows interleaves eight flows within each
+// batch, so the memo misses and the flow table carries the load.
+func BenchmarkProcessBatchMixedFlows(b *testing.B) {
+	e, base := benchEnforcer(b, true)
+	batch := make([]*ipv4.Packet, 64)
+	for i := range batch {
+		p := base.Clone()
+		var a [4]byte
+		binary.BigEndian.PutUint32(a[:], uint32(i%8))
+		p.Header.Dst = netip.AddrFrom4(a)
+		batch[i] = p
+	}
+	var out []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		out = e.ProcessBatch(batch, out)
+		if out[0].Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
+}

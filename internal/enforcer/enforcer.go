@@ -11,6 +11,16 @@
 // Manager controls, so untagged traffic is either a personal app that has
 // no business on the corporate network or an evasion attempt (e.g. native
 // sockets).
+//
+// When a flow cache is configured (Config.Flows), the enforcer exploits
+// the paper's §VI-D observation that every packet of a connection carries
+// the same contextual tag: the first packet of a flow pays the full
+// extract–decode–evaluate pipeline, and every later packet is answered by
+// a single flow-table probe keyed on the raw tag bytes — no tag decode,
+// no stack decode, no policy evaluation. Cached verdicts self-invalidate
+// when the policy engine or the signature database changes (generation
+// counters), so the fast path can never serve a pre-reconfiguration
+// decision.
 package enforcer
 
 import (
@@ -20,10 +30,21 @@ import (
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/dex"
+	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
 )
+
+// FlowCache caches one enforcement Result per flow. Cached Results share
+// their Stack slice and Decision pointer across every packet of the flow;
+// both are immutable once published and must not be mutated by callers.
+type FlowCache = flowtable.Table[Result]
+
+// NewFlowCache builds a verdict cache for the enforcer.
+func NewFlowCache(cfg flowtable.Config) *FlowCache {
+	return flowtable.New[Result](cfg)
+}
 
 // Config selects enforcer behaviour for edge cases.
 type Config struct {
@@ -35,6 +56,9 @@ type Config struct {
 	// database. The default (false) drops them: an unprovisioned or
 	// repackaged app must not exfiltrate just by being unknown.
 	AllowUnknownApps bool
+	// Flows enables per-flow verdict caching (nil disables it). The cache
+	// is consulted before tag decoding; see the package comment.
+	Flows *FlowCache
 }
 
 // DropCause classifies why the enforcer dropped a packet.
@@ -81,7 +105,9 @@ func (c DropCause) String() string {
 }
 
 // Result reports the enforcer's decision for one packet, with the decoded
-// context for auditing and the Policy Extractor.
+// context for auditing and the Policy Extractor. Results served from the
+// flow cache share Stack and Decision across packets of the flow; treat
+// both as read-only.
 type Result struct {
 	Verdict policy.Verdict
 	Cause   DropCause
@@ -99,42 +125,95 @@ type Stats struct {
 	Accepted       uint64
 	Dropped        uint64
 	DroppedByCause map[DropCause]uint64
+	// Flow snapshots the verdict cache (zero value when caching is off).
+	Flow flowtable.Stats
+	// BatchMemoHits counts packets answered by ProcessBatch's same-flow
+	// memo without even a flow-table probe (keep-alive trains).
+	BatchMemoHits uint64
+}
+
+// scratch is the pooled per-packet working set: the decoded tag and the
+// stack-decode buffer. Pooling both keeps the miss path free of scratch
+// allocations; only data that escapes into a Result is copied out.
+type scratch struct {
+	tag   tag.Tag
+	stack []dex.Signature
 }
 
 // Enforcer evaluates packets against a policy using a signature database.
 // It is safe for concurrent use and scales across cores: counters are
-// atomic and the per-packet tag scratch is pooled, so parallel Process
-// calls share no locks beyond the database's single resolve RLock.
+// atomic, the per-packet scratch is pooled, and the optional flow cache is
+// lock-striped, so parallel Process calls share no globally serialized
+// state beyond the database's single resolve RLock on cache misses.
 type Enforcer struct {
 	cfg    Config
 	db     *analyzer.Database
 	engine *policy.Engine
+	flows  *FlowCache
 
-	tags sync.Pool // *tag.Tag scratch, reused across packets
+	scratches sync.Pool // *scratch, reused across packets
 
-	processed      atomic.Uint64
 	accepted       atomic.Uint64
 	dropped        atomic.Uint64
 	droppedByCause [dropCauseCount]atomic.Uint64
+	batchMemoHits  atomic.Uint64
 }
 
 // New builds an enforcer.
 func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
 	return &Enforcer{
-		cfg:    cfg,
-		db:     db,
-		engine: engine,
-		tags:   sync.Pool{New: func() any { return new(tag.Tag) }},
+		cfg:       cfg,
+		db:        db,
+		engine:    engine,
+		flows:     cfg.Flows,
+		scratches: sync.Pool{New: func() any { return new(scratch) }},
 	}
 }
 
 // Engine exposes the policy engine (for central reconfiguration).
 func (e *Enforcer) Engine() *policy.Engine { return e.engine }
 
-// Process runs the three enforcement stages on one packet.
+// FlowCacheEnabled reports whether per-flow verdict caching is active.
+func (e *Enforcer) FlowCacheEnabled() bool { return e.flows != nil }
+
+// generation combines the policy engine's and the signature database's
+// mutation counters into the cache generation: a change to either
+// invalidates every cached verdict. The engine generation is the one that
+// moves under central reconfiguration; 2³² rule replacements without a
+// single database change would be needed to alias, which cannot happen in
+// a deployment's lifetime.
+func (e *Enforcer) generation() uint64 {
+	return e.db.Generation()<<32 | e.engine.Generation()&0xffffffff
+}
+
+// flowKey builds the cache key for a tagged packet without decoding the
+// tag: endpoints and protocol from the header, and the tag payload
+// (which begins with the app's truncated hash) pinned verbatim plus its
+// digest. Ports stay zero — the simulator's IPv4 model carries no
+// transport header. ok is false for oversized tag payloads, which must
+// bypass the cache.
+func flowKey(pkt *ipv4.Packet, tagData []byte) (k flowtable.Key, ok bool) {
+	k.Src = pkt.Header.Src
+	k.Dst = pkt.Header.Dst
+	k.Proto = pkt.Header.Protocol
+	if !k.SetTag(tagData) {
+		return flowtable.Key{}, false
+	}
+	return k, true
+}
+
+// Process runs the three enforcement stages on one packet, short-circuited
+// by the flow cache when one is configured.
 func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
 	res := e.process(pkt)
-	e.processed.Add(1)
+	e.count(res)
+	return res
+}
+
+// count updates the outcome counters for one processed packet (the
+// processed total is derived as accepted+dropped, keeping the hot path at
+// one counter update per packet).
+func (e *Enforcer) count(res Result) {
 	if res.Verdict == policy.VerdictAllow {
 		e.accepted.Add(1)
 	} else {
@@ -143,44 +222,77 @@ func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
 			e.droppedByCause[res.Cause].Add(1)
 		}
 	}
-	return res
 }
 
 func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 	// Stage 1: extraction.
 	opt, tagged := pkt.Header.FindOption(ipv4.OptSecurity)
 	if !tagged {
-		if e.cfg.AllowUntagged {
-			return Result{Verdict: policy.VerdictAllow}
-		}
-		return Result{Verdict: policy.VerdictDrop, Cause: DropUntagged}
+		return e.untagged()
 	}
-	decoded := e.tags.Get().(*tag.Tag)
-	defer e.tags.Put(decoded)
-	if err := tag.DecodeInto(decoded, opt.Data); err != nil {
+	if e.flows == nil {
+		return e.evaluateTag(opt.Data)
+	}
+	// Fast path: probe the flow table on the raw tag bytes. The generation
+	// is read before the probe (and before any evaluation) so that a
+	// concurrent SetRules/AddEntry makes the inserted entry stale rather
+	// than letting a pre-update verdict survive under the new generation.
+	gen := e.generation()
+	key, cacheable := flowKey(pkt, opt.Data)
+	if !cacheable {
+		return e.evaluateTag(opt.Data)
+	}
+	if res, ok := e.flows.Lookup(key, gen); ok {
+		return res
+	}
+	res := e.evaluateTag(opt.Data)
+	e.flows.Insert(key, gen, res)
+	return res
+}
+
+func (e *Enforcer) untagged() Result {
+	if e.cfg.AllowUntagged {
+		return Result{Verdict: policy.VerdictAllow}
+	}
+	return Result{Verdict: policy.VerdictDrop, Cause: DropUntagged}
+}
+
+// evaluateTag is the full miss path: decode the tag, decode the stack,
+// evaluate policy. Scratch buffers are pooled; only the Stack and Decision
+// that escape into the Result are freshly allocated (once per flow when
+// caching is on).
+func (e *Enforcer) evaluateTag(data []byte) Result {
+	sc := e.scratches.Get().(*scratch)
+	defer e.scratches.Put(sc)
+
+	if err := tag.DecodeInto(&sc.tag, data); err != nil {
 		return Result{Verdict: policy.VerdictDrop, Cause: DropMalformedTag}
 	}
 
 	// Stage 2: decoding via the analyzer database — the app resolves once
-	// and the whole stack decodes through the lock-free handle.
-	resolver, known := e.db.Resolve(decoded.AppHash)
+	// and the whole stack decodes through the lock-free handle into the
+	// pooled scratch buffer.
+	resolver, known := e.db.Resolve(sc.tag.AppHash)
 	if !known {
 		if e.cfg.AllowUnknownApps {
-			return Result{Verdict: policy.VerdictAllow, AppHash: decoded.AppHash}
+			return Result{Verdict: policy.VerdictAllow, AppHash: sc.tag.AppHash}
 		}
-		return Result{Verdict: policy.VerdictDrop, Cause: DropUnknownApp, AppHash: decoded.AppHash}
+		return Result{Verdict: policy.VerdictDrop, Cause: DropUnknownApp, AppHash: sc.tag.AppHash}
 	}
-	stack, err := resolver.DecodeStackInto(make([]dex.Signature, 0, len(decoded.Indexes)), decoded.Indexes)
+	stack, err := resolver.DecodeStackInto(sc.stack[:0], sc.tag.Indexes)
 	if err != nil {
-		return Result{Verdict: policy.VerdictDrop, Cause: DropBadIndex, AppHash: decoded.AppHash}
+		return Result{Verdict: policy.VerdictDrop, Cause: DropBadIndex, AppHash: sc.tag.AppHash}
 	}
+	sc.stack = stack // retain grown capacity for the next packet
 
 	// Stage 3: enforcement.
-	decision := e.engine.Evaluate(decoded.AppHash, stack)
+	decision := e.engine.Evaluate(sc.tag.AppHash, stack)
 	res := Result{
-		Verdict:  decision.Verdict,
-		AppHash:  decoded.AppHash,
-		Stack:    stack,
+		Verdict: decision.Verdict,
+		AppHash: sc.tag.AppHash,
+		// The scratch buffer goes back to the pool; the escaping Result
+		// needs its own copy (shared by every cache hit of this flow).
+		Stack:    append(make([]dex.Signature, 0, len(stack)), stack...),
 		Decision: &decision,
 	}
 	if decision.Verdict == policy.VerdictDrop {
@@ -189,18 +301,79 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 	return res
 }
 
+// ProcessBatch enforces a batch of packets, amortizing work across packets
+// of the same flow when a flow cache is configured: consecutive packets
+// with identical flow keys (the common shape of a keep-alive train or an
+// upload burst) reuse the previous packet's Result without even probing
+// the flow table, and the flow table covers non-adjacent repeats. With
+// caching disabled every packet pays the full pipeline — the uncached
+// configuration is a true per-packet baseline. Results are appended to
+// out (reusing its backing array) and returned; out[i] corresponds to
+// pkts[i]. Safe for concurrent use — a per-core worker pool can split one
+// queue drain into independent ProcessBatch calls.
+func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
+	if cap(out) < len(pkts) {
+		out = make([]Result, 0, len(pkts))
+	} else {
+		out = out[:0]
+	}
+	var (
+		memoKey   flowtable.Key
+		memoGen   uint64
+		memoRes   Result
+		memoValid bool
+	)
+	for _, pkt := range pkts {
+		opt, tagged := pkt.Header.FindOption(ipv4.OptSecurity)
+		var res Result
+		switch {
+		case !tagged:
+			res = e.untagged()
+		case e.flows == nil:
+			res = e.evaluateTag(opt.Data)
+		default:
+			gen := e.generation()
+			key, cacheable := flowKey(pkt, opt.Data)
+			switch {
+			case !cacheable:
+				res = e.evaluateTag(opt.Data)
+			case memoValid && key == memoKey && gen == memoGen:
+				res = memoRes
+				e.batchMemoHits.Add(1)
+			default:
+				if cached, ok := e.flows.Lookup(key, gen); ok {
+					res = cached
+				} else {
+					res = e.evaluateTag(opt.Data)
+					e.flows.Insert(key, gen, res)
+				}
+				memoKey, memoGen, memoRes, memoValid = key, gen, res, true
+			}
+		}
+		e.count(res)
+		out = append(out, res)
+	}
+	return out
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Enforcer) Stats() Stats {
+	accepted := e.accepted.Load()
+	dropped := e.dropped.Load()
 	out := Stats{
-		Processed:      e.processed.Load(),
-		Accepted:       e.accepted.Load(),
-		Dropped:        e.dropped.Load(),
+		Processed:      accepted + dropped,
+		Accepted:       accepted,
+		Dropped:        dropped,
 		DroppedByCause: make(map[DropCause]uint64),
+		BatchMemoHits:  e.batchMemoHits.Load(),
 	}
 	for c := range e.droppedByCause {
 		if n := e.droppedByCause[c].Load(); n > 0 {
 			out.DroppedByCause[DropCause(c)] = n
 		}
+	}
+	if e.flows != nil {
+		out.Flow = e.flows.Stats()
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/contextmgr"
 	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/httpsim"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
@@ -51,6 +52,12 @@ type TestbedConfig struct {
 	AllowUntagged bool
 	// NIC selects the emulator network mode (TAP for the paper's testbed).
 	NIC netsim.NICMode
+	// DisableFlowCache turns off per-flow verdict caching (on by default
+	// when enforcement is on; baselines that measure the uncached pipeline
+	// set this).
+	DisableFlowCache bool
+	// GatewayWorkers sizes the batched per-core queue drain (0 = GOMAXPROCS).
+	GatewayWorkers int
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -87,9 +94,16 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		nic = netsim.ModeTAP
 	}
 	tb.Network = netsim.NewNetwork(nic, netsim.DefaultLatencyModel())
-	gwCfg := netsim.GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})}
+	gwCfg := netsim.GatewayConfig{
+		Sanitizer: sanitizer.New(sanitizer.Config{}),
+		Workers:   cfg.GatewayWorkers,
+	}
 	if cfg.EnforcementOn {
-		tb.Enforcer = enforcer.New(enforcer.Config{AllowUntagged: cfg.AllowUntagged}, db, engine)
+		enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged}
+		if !cfg.DisableFlowCache {
+			enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{Clock: tb.Network.Clock})
+		}
+		tb.Enforcer = enforcer.New(enfCfg, db, engine)
 		gwCfg.Enforcer = tb.Enforcer
 	}
 	tb.Network.Gateway = netsim.NewGateway(gwCfg)
@@ -120,11 +134,10 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 	return tb, nil
 }
 
-// DeliverAll pushes a batch of packets through the network, returning how
-// many were delivered and how many dropped.
+// DeliverAll pushes a batch of packets through the network's batched
+// gateway drain, returning how many were delivered and how many dropped.
 func (tb *Testbed) DeliverAll(pkts []*ipv4.Packet) (delivered, dropped int) {
-	for _, p := range pkts {
-		d := tb.Network.Deliver(p)
+	for _, d := range tb.Network.DeliverBatch(pkts) {
 		if d.Delivered {
 			delivered++
 		} else {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/trackers"
 )
@@ -39,6 +40,9 @@ type ValidationResult struct {
 	// enforced run: every packet paid only indexed probes against the
 	// 1,050-rule set, never a linear scan.
 	EngineStats policy.Stats
+	// FlowStats snapshots the enforced run's per-flow verdict cache:
+	// repeat packets of a functionality's flow skip the pipeline entirely.
+	FlowStats flowtable.Stats
 }
 
 // ValidationConfig parameterizes the experiment.
@@ -118,24 +122,14 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("validation: baseline %s/%s: %w", ga.APK.PackageName, fn.Name, err)
 			}
-			offDelivered := 0
-			for _, pkt := range resOff.Packets {
-				if tbOff.Network.Deliver(pkt).Delivered {
-					offDelivered++
-				}
-			}
+			offDelivered, _ := tbOff.DeliverAll(resOff.Packets)
 
 			// Enforced run.
 			resOn, err := tbOn.Apps[i].Invoke(fn.Name)
 			if err != nil {
 				return nil, fmt.Errorf("validation: enforced %s/%s: %w", ga.APK.PackageName, fn.Name, err)
 			}
-			onDelivered := 0
-			for _, pkt := range resOn.Packets {
-				if tbOn.Network.Deliver(pkt).Delivered {
-					onDelivered++
-				}
-			}
+			onDelivered, _ := tbOn.DeliverAll(resOn.Packets)
 
 			if meta.IsTracker {
 				res.TrackerPacketsTotal += len(resOn.Packets)
@@ -162,6 +156,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	}
 	res.LibrariesCovered = len(covered)
 	res.EngineStats = tbOn.Engine.Stats()
+	res.FlowStats = tbOn.Enforcer.Stats().Flow
 	return res, nil
 }
 
@@ -226,5 +221,7 @@ func (r *ValidationResult) Format() string {
 	for _, l := range libs[:max] {
 		fmt.Fprintf(&b, "  %-40s %d packets dropped\n", l, r.PerLibrary[l])
 	}
+	fmt.Fprintf(&b, "flow cache: %d hits, %d misses, %d live flows\n",
+		r.FlowStats.Hits, r.FlowStats.Misses, r.FlowStats.Live)
 	return b.String()
 }

@@ -3,7 +3,9 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"borderpatrol/internal/ipv4"
 )
@@ -59,6 +61,27 @@ func (c Chain) String() string {
 // Policy Enforcer accepts/drops; the Packet Sanitizer mangles).
 type QueueHandler func(pkt *ipv4.Packet) (Verdict, *ipv4.Packet)
 
+// BatchVerdict is one packet's outcome from a QueueBatchHandler.
+type BatchVerdict struct {
+	// Verdict accepts or drops the packet.
+	Verdict Verdict
+	// Rewritten replaces the packet for the rest of the traversal when
+	// non-nil.
+	Rewritten *ipv4.Packet
+	// Aux carries handler-specific per-packet data back to the driver
+	// (the gateway attaches the enforcement result here). The last
+	// non-nil Aux a packet picks up across queues wins.
+	Aux any
+}
+
+// QueueBatchHandler consumes a whole batch of packets diverted to one
+// NFQUEUE in a single user-space transition and returns one BatchVerdict
+// per packet (verdicts[i] answers pkts[i]). Batch handlers let the
+// consumer amortize per-flow work — resolve, decode, policy — across the
+// packets of a burst, which is where the real netfilter_queue's
+// per-packet recv/verdict round trip hurts most.
+type QueueBatchHandler func(pkts []*ipv4.Packet) []BatchVerdict
+
 // RuleTarget is what an iptables rule does on match.
 type RuleTarget int
 
@@ -84,14 +107,19 @@ type Rule struct {
 	Comment string
 }
 
-// Netfilter models the kernel's packet-filter hooks.
+// Netfilter models the kernel's packet-filter hooks. Verdict counters are
+// atomic so concurrent chain traversals (the gateway's per-core batch
+// drain) never serialize on a stats lock.
 type Netfilter struct {
-	mu       sync.RWMutex
-	chains   map[Chain][]Rule
-	queues   map[int]QueueHandler
-	accepted uint64
-	dropped  uint64
-	queuedOK uint64
+	mu           sync.RWMutex
+	chains       map[Chain][]Rule
+	queues       map[int]QueueHandler
+	batchQueues  map[int]QueueBatchHandler
+	accepted     atomic.Uint64
+	dropped      atomic.Uint64
+	queuedOK     atomic.Uint64
+	batchDrains  atomic.Uint64
+	batchPackets atomic.Uint64
 }
 
 // ErrNoQueueHandler reports a rule diverting to an unregistered queue; the
@@ -101,8 +129,9 @@ var ErrNoQueueHandler = errors.New("kernel: NFQUEUE has no user-space handler")
 // NewNetfilter builds an empty rule table (policy ACCEPT on all chains).
 func NewNetfilter() *Netfilter {
 	return &Netfilter{
-		chains: make(map[Chain][]Rule),
-		queues: make(map[int]QueueHandler),
+		chains:      make(map[Chain][]Rule),
+		queues:      make(map[int]QueueHandler),
+		batchQueues: make(map[int]QueueBatchHandler),
 	}
 }
 
@@ -127,11 +156,22 @@ func (nf *Netfilter) RegisterQueue(num int, h QueueHandler) {
 	nf.queues[num] = h
 }
 
-// UnregisterQueue detaches a queue handler (user-space program exited).
+// RegisterBatchQueue binds a batch-capable user-space handler to an
+// NFQUEUE number. Batch traversals (OutputBatch/DrainBatch) prefer it;
+// scalar traversals fall back to the QueueHandler registered under the
+// same number, so a queue that wants both paths registers both.
+func (nf *Netfilter) RegisterBatchQueue(num int, h QueueBatchHandler) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.batchQueues[num] = h
+}
+
+// UnregisterQueue detaches a queue's handlers (user-space program exited).
 func (nf *Netfilter) UnregisterQueue(num int) {
 	nf.mu.Lock()
 	defer nf.mu.Unlock()
 	delete(nf.queues, num)
+	delete(nf.batchQueues, num)
 }
 
 // Output runs a packet through OUTPUT then POSTROUTING, as the kernel does
@@ -157,39 +197,236 @@ func (nf *Netfilter) traverse(chain Chain, pkt *ipv4.Packet) (*ipv4.Packet, erro
 		}
 		switch r.Target {
 		case TargetAccept:
-			nf.count(&nf.accepted)
+			nf.accepted.Add(1)
 			return cur, nil
 		case TargetDrop:
-			nf.count(&nf.dropped)
+			nf.dropped.Add(1)
 			return nil, nil
 		case TargetQueue:
 			nf.mu.RLock()
 			h := nf.queues[r.QueueNum]
 			nf.mu.RUnlock()
 			if h == nil {
-				nf.count(&nf.dropped)
+				nf.dropped.Add(1)
 				return nil, fmt.Errorf("%w: queue %d", ErrNoQueueHandler, r.QueueNum)
 			}
 			verdict, rewritten := h(cur)
 			if verdict == VerdictDrop {
-				nf.count(&nf.dropped)
+				nf.dropped.Add(1)
 				return nil, nil
 			}
-			nf.count(&nf.queuedOK)
+			nf.queuedOK.Add(1)
 			if rewritten != nil {
 				cur = rewritten
 			}
 		}
 	}
 	// Chain policy is ACCEPT.
-	nf.count(&nf.accepted)
+	nf.accepted.Add(1)
 	return cur, nil
 }
 
-func (nf *Netfilter) count(c *uint64) {
-	nf.mu.Lock()
-	*c++
-	nf.mu.Unlock()
+// BatchResult is the fate of one packet pushed through a batch traversal.
+type BatchResult struct {
+	// Out is the surviving (possibly rewritten) packet; nil when dropped.
+	Out *ipv4.Packet
+	// Aux is the last non-nil per-packet datum a queue handler attached.
+	Aux any
+}
+
+// batchItem tracks one packet's traversal state within a chain.
+type batchItem struct {
+	pkt *ipv4.Packet
+	// done marks packets decided for the current chain (accepted early or
+	// dropped); dropped packets have pkt == nil.
+	done bool
+	aux  any
+}
+
+// OutputBatch runs a batch through OUTPUT then POSTROUTING in one
+// traversal per chain: for each rule, the matching live packets are
+// partitioned out and — for NFQUEUE targets — handed to the queue's batch
+// handler as a single slice, so the user-space consumer crosses the
+// kernel boundary once per burst instead of once per packet. Results
+// align with pkts (Out nil = dropped). A queue with neither a batch nor a
+// scalar handler drops its packets and reports ErrNoQueueHandler (first
+// error wins), like the real kernel's dead-NFQUEUE behaviour.
+func (nf *Netfilter) OutputBatch(pkts []*ipv4.Packet) ([]BatchResult, error) {
+	items := make([]batchItem, len(pkts))
+	for i, p := range pkts {
+		items[i] = batchItem{pkt: p}
+	}
+	err := nf.traverseBatch(ChainOutput, items)
+	// Reset chain-scoped accept marks; drops keep pkt == nil.
+	for i := range items {
+		items[i].done = items[i].pkt == nil
+	}
+	if err2 := nf.traverseBatch(ChainPostrouting, items); err == nil {
+		err = err2
+	}
+	out := make([]BatchResult, len(items))
+	for i := range items {
+		out[i] = BatchResult{Out: items[i].pkt, Aux: items[i].aux}
+	}
+	return out, err
+}
+
+// traverseBatch walks one chain over every not-yet-decided item.
+func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
+	nf.mu.RLock()
+	rules := nf.chains[chain]
+	nf.mu.RUnlock()
+
+	var firstErr error
+	// matched carries the item indexes a queue rule diverts this round.
+	var matched []int
+	for ri := range rules {
+		r := &rules[ri]
+		switch r.Target {
+		case TargetAccept:
+			for i := range items {
+				it := &items[i]
+				if it.done || (r.Match != nil && !r.Match(it.pkt)) {
+					continue
+				}
+				it.done = true
+				nf.accepted.Add(1)
+			}
+		case TargetDrop:
+			for i := range items {
+				it := &items[i]
+				if it.done || (r.Match != nil && !r.Match(it.pkt)) {
+					continue
+				}
+				it.pkt = nil
+				it.done = true
+				nf.dropped.Add(1)
+			}
+		case TargetQueue:
+			matched = matched[:0]
+			for i := range items {
+				it := &items[i]
+				if it.done || (r.Match != nil && !r.Match(it.pkt)) {
+					continue
+				}
+				matched = append(matched, i)
+			}
+			if len(matched) == 0 {
+				continue
+			}
+			nf.mu.RLock()
+			bh := nf.batchQueues[r.QueueNum]
+			sh := nf.queues[r.QueueNum]
+			nf.mu.RUnlock()
+			switch {
+			case bh != nil:
+				batch := make([]*ipv4.Packet, len(matched))
+				for bi, i := range matched {
+					batch[bi] = items[i].pkt
+				}
+				verdicts := bh(batch)
+				for bi, i := range matched {
+					it := &items[i]
+					// Aux rides along even on drops: the gateway needs the
+					// enforcement result of a denied packet for its audit
+					// trail, exactly like the scalar reader's lastResult.
+					if bi < len(verdicts) && verdicts[bi].Aux != nil {
+						it.aux = verdicts[bi].Aux
+					}
+					if bi >= len(verdicts) || verdicts[bi].Verdict == VerdictDrop {
+						it.pkt = nil
+						it.done = true
+						nf.dropped.Add(1)
+						continue
+					}
+					nf.queuedOK.Add(1)
+					if verdicts[bi].Rewritten != nil {
+						it.pkt = verdicts[bi].Rewritten
+					}
+				}
+			case sh != nil:
+				for _, i := range matched {
+					it := &items[i]
+					verdict, rewritten := sh(it.pkt)
+					if verdict == VerdictDrop {
+						it.pkt = nil
+						it.done = true
+						nf.dropped.Add(1)
+						continue
+					}
+					nf.queuedOK.Add(1)
+					if rewritten != nil {
+						it.pkt = rewritten
+					}
+				}
+			default:
+				for _, i := range matched {
+					items[i].pkt = nil
+					items[i].done = true
+					nf.dropped.Add(1)
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: queue %d", ErrNoQueueHandler, r.QueueNum)
+				}
+			}
+		}
+	}
+	// Chain policy is ACCEPT for the survivors.
+	for i := range items {
+		if !items[i].done {
+			nf.accepted.Add(1)
+		}
+	}
+	return firstErr
+}
+
+// DrainBatch is the per-core queue drain: it splits the batch into
+// contiguous chunks and runs OutputBatch on each from its own goroutine
+// (workers ≤ 0 selects GOMAXPROCS). Queue handlers must be safe for
+// concurrent use — the Policy Enforcer's Process/ProcessBatch are
+// lock-free precisely so this scales with cores. Packet order within each
+// chunk is preserved; results align with pkts.
+func (nf *Netfilter) DrainBatch(pkts []*ipv4.Packet, workers int) ([]BatchResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkts) {
+		workers = len(pkts)
+	}
+	nf.batchDrains.Add(1)
+	nf.batchPackets.Add(uint64(len(pkts)))
+	if workers <= 1 {
+		return nf.OutputBatch(pkts)
+	}
+
+	out := make([]BatchResult, len(pkts))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pkts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			res, err := nf.OutputBatch(pkts[lo:hi])
+			copy(out[lo:hi], res)
+			errs[w] = err
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // FilterStats reports packet-verdict counters.
@@ -197,11 +434,19 @@ type FilterStats struct {
 	Accepted uint64
 	Dropped  uint64
 	Queued   uint64
+	// BatchDrains counts DrainBatch invocations; BatchPackets the packets
+	// they carried.
+	BatchDrains  uint64
+	BatchPackets uint64
 }
 
 // Stats returns a snapshot of verdict counters.
 func (nf *Netfilter) Stats() FilterStats {
-	nf.mu.Lock()
-	defer nf.mu.Unlock()
-	return FilterStats{Accepted: nf.accepted, Dropped: nf.dropped, Queued: nf.queuedOK}
+	return FilterStats{
+		Accepted:     nf.accepted.Load(),
+		Dropped:      nf.dropped.Load(),
+		Queued:       nf.queuedOK.Load(),
+		BatchDrains:  nf.batchDrains.Load(),
+		BatchPackets: nf.batchPackets.Load(),
+	}
 }

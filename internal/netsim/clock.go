@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,9 +9,12 @@ import (
 // it instead of sleeping, so experiments measuring milliseconds of
 // per-request latency (paper Fig. 4) run in microseconds of wall time and
 // produce deterministic numbers.
+//
+// The clock is a single atomic counter: Now is one load, so per-packet
+// consumers on the gateway fast path (the flow table's TTL checks) read
+// it without serializing on a lock.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64
 }
 
 // NewClock starts a clock at zero.
@@ -19,9 +22,7 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time since the clock's epoch.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves virtual time forward by d (negative d is ignored).
@@ -29,9 +30,7 @@ func (c *Clock) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.now += d
-	c.mu.Unlock()
+	c.now.Add(int64(d))
 }
 
 // LatencyModel holds the per-component virtual-time costs of the testbed,

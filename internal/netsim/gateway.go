@@ -1,12 +1,13 @@
 package netsim
 
 import (
+	"sync"
+
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/sanitizer"
-	"sync"
 )
 
 // Gateway is the enterprise-perimeter appliance: a host whose netfilter
@@ -14,13 +15,21 @@ import (
 // Enforcer (NFQUEUE 1) and, for surviving packets, the Packet Sanitizer
 // (NFQUEUE 2) — matching the paper's worker-host iptables layout (§VI-A).
 //
-// Process is serialized: the paper's user-space queue consumer (Python
-// netfilterqueue) handles one packet at a time, and the audit trail relies
-// on that ordering.
+// Two consumption models are wired onto the same queues:
+//
+//   - Process is the paper's original serialized reader (the Python
+//     netfilterqueue consumer handles one packet at a time, and the audit
+//     trail relies on that ordering).
+//   - ProcessBatch drains a burst through the kernel's batch traversal
+//     with a per-core worker pool: the enforcer's ProcessBatch amortizes
+//     resolve+decode across packets of the same flow, and the lock-free
+//     enforcement path lets chunks proceed on every core in parallel.
 type Gateway struct {
 	nf        *kernel.Netfilter
 	enforcer  *enforcer.Enforcer
 	sanitizer *sanitizer.Sanitizer
+	// workers sizes the ProcessBatch worker pool (≤0 = GOMAXPROCS).
+	workers int
 	// passthrough models config (iii) of Fig. 4: a reader that consumes
 	// the queue and reinjects packets unmodified.
 	passthrough bool
@@ -40,6 +49,8 @@ type GatewayConfig struct {
 	// Passthrough installs a read-and-reinject queue consumer even with no
 	// enforcer/sanitizer, to measure the bare NFQUEUE cost.
 	Passthrough bool
+	// Workers sizes the per-core batch drain (≤0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewGateway wires the pipeline onto a fresh netfilter instance.
@@ -48,6 +59,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		nf:          kernel.NewNetfilter(),
 		enforcer:    cfg.Enforcer,
 		sanitizer:   cfg.Sanitizer,
+		workers:     cfg.Workers,
 		passthrough: cfg.Passthrough,
 	}
 	switch {
@@ -60,12 +72,32 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 			}
 			return kernel.VerdictAccept, nil
 		})
+		g.nf.RegisterBatchQueue(1, func(pkts []*ipv4.Packet) []kernel.BatchVerdict {
+			results := g.enforcer.ProcessBatch(pkts, nil)
+			out := make([]kernel.BatchVerdict, len(pkts))
+			for i := range results {
+				// Aux points into the results slice (one allocation per
+				// batch, not per packet); it stays alive with the outcomes.
+				out[i] = kernel.BatchVerdict{Verdict: kernel.VerdictAccept, Aux: &results[i]}
+				if results[i].Verdict == policy.VerdictDrop {
+					out[i].Verdict = kernel.VerdictDrop
+				}
+			}
+			return out
+		})
 		g.nf.Append(kernel.ChainOutput, kernel.Rule{
 			Target: kernel.TargetQueue, QueueNum: 1, Comment: "BYOD traffic to Policy Enforcer",
 		})
 	case g.passthrough:
 		g.nf.RegisterQueue(1, func(pkt *ipv4.Packet) (kernel.Verdict, *ipv4.Packet) {
 			return kernel.VerdictAccept, nil
+		})
+		g.nf.RegisterBatchQueue(1, func(pkts []*ipv4.Packet) []kernel.BatchVerdict {
+			out := make([]kernel.BatchVerdict, len(pkts))
+			for i := range out {
+				out[i] = kernel.BatchVerdict{Verdict: kernel.VerdictAccept}
+			}
+			return out
 		})
 		g.nf.Append(kernel.ChainOutput, kernel.Rule{
 			Target: kernel.TargetQueue, QueueNum: 1, Comment: "passthrough reader",
@@ -74,6 +106,16 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if g.sanitizer != nil {
 		g.nf.RegisterQueue(2, func(pkt *ipv4.Packet) (kernel.Verdict, *ipv4.Packet) {
 			return kernel.VerdictAccept, g.sanitizer.Process(pkt.Clone())
+		})
+		g.nf.RegisterBatchQueue(2, func(pkts []*ipv4.Packet) []kernel.BatchVerdict {
+			out := make([]kernel.BatchVerdict, len(pkts))
+			for i, pkt := range pkts {
+				out[i] = kernel.BatchVerdict{
+					Verdict:   kernel.VerdictAccept,
+					Rewritten: g.sanitizer.Process(pkt.Clone()),
+				}
+			}
+			return out
 		})
 		g.nf.Append(kernel.ChainPostrouting, kernel.Rule{
 			Target: kernel.TargetQueue, QueueNum: 2, Comment: "outbound to Packet Sanitizer",
@@ -105,6 +147,35 @@ func (g *Gateway) Process(pkt *ipv4.Packet) (*ipv4.Packet, *enforcer.Result, err
 	out, err := g.nf.Output(pkt)
 	return out, g.lastResult, err
 }
+
+// BatchOutcome is the fate of one packet in a ProcessBatch drain.
+type BatchOutcome struct {
+	// Out is the surviving (sanitized) packet; nil when dropped.
+	Out *ipv4.Packet
+	// Result is the Policy Enforcer's decision when that stage ran.
+	Result *enforcer.Result
+}
+
+// ProcessBatch drains a burst of packets through the netfilter batch
+// traversal on the per-core worker pool. Outcomes align with pkts. Unlike
+// Process, batch drains are not serialized against each other — the
+// enforcement path is lock-free by design — so callers needing a totally
+// ordered audit trail should order on the returned outcomes, not on
+// side effects.
+func (g *Gateway) ProcessBatch(pkts []*ipv4.Packet) ([]BatchOutcome, error) {
+	res, err := g.nf.DrainBatch(pkts, g.workers)
+	out := make([]BatchOutcome, len(res))
+	for i := range res {
+		out[i] = BatchOutcome{Out: res[i].Out}
+		if r, ok := res[i].Aux.(*enforcer.Result); ok {
+			out[i].Result = r
+		}
+	}
+	return out, err
+}
+
+// Netfilter exposes the gateway's filter table (stats, extra rules).
+func (g *Gateway) Netfilter() *kernel.Netfilter { return g.nf }
 
 // Enforcer returns the enforcement stage, if present.
 func (g *Gateway) Enforcer() *enforcer.Enforcer { return g.enforcer }

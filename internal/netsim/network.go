@@ -241,7 +241,7 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 	}
 
 	cur := pkt
-	var enfRes *enforcer.Result
+	var d Delivery
 	if !skipGateway && n.Gateway != nil && n.Gateway.Active() {
 		// Kernel→user-space→kernel hop for the queue reader.
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
@@ -252,30 +252,48 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 			n.Clock.Advance(n.Model.SanitizerPerPacket)
 		}
 		out, res, err := n.Gateway.Process(cur)
-		enfRes = res
+		d.Enforcement = res
 		if err != nil || out == nil {
-			return Delivery{Stage: StageGateway, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+			d.Stage = StageGateway
+			d.Latency = n.Clock.Now() - start
+			return d
 		}
 		cur = out
 	}
+	n.serveOne(cur, &d)
+	// The response traverses the gateway's queue on the way back in
+	// (conntrack reinjection into the same NFQUEUE reader).
+	if d.Delivered && !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+	}
+	d.Latency = n.Clock.Now() - start
+	return d
+}
+
+// serveOne is the post-gateway delivery tail shared by the scalar and
+// batch paths: post-gateway capture, route lookup, RFC 7126 border
+// filtering, wire/server virtual-time charges, and the HTTP response. It
+// fills d's Delivered, Stage and Response.
+func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) {
 	n.captureAt(CapturePostGateway, cur)
 
 	n.mu.Lock()
 	srv, ok := n.servers[cur.Header.Dst]
 	n.mu.Unlock()
 	if !ok {
-		return Delivery{Stage: StageNoRoute, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+		d.Stage = StageNoRoute
+		return
 	}
 
 	// RFC 7126 filtering on the public path.
 	if n.BorderFilterEnabled && !srv.Internal {
 		if ipv4.BorderFilter(cur) == ipv4.BorderDrop {
-			return Delivery{Stage: StageBorder, Enforcement: enfRes, Latency: n.Clock.Now() - start}
+			d.Stage = StageBorder
+			return
 		}
 	}
 
 	n.Clock.Advance(n.Model.WireRTT / 2)
-	var resp *httpsim.Response
 	if req, err := httpsim.ParseRequest(cur.Payload); err == nil {
 		n.Clock.Advance(n.Model.ServerProcessing)
 		srv.mu.Lock()
@@ -283,21 +301,76 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 		srv.rxBytes += uint64(len(req.Body))
 		srv.mu.Unlock()
 		if srv.Handler != nil {
-			resp = srv.Handler(req)
+			d.Response = srv.Handler(req)
 		}
 	}
 	n.Clock.Advance(n.Model.WireRTT / 2)
-	// The response traverses the gateway's queue on the way back in
-	// (conntrack reinjection into the same NFQUEUE reader).
-	if !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+	d.Delivered = true
+}
+
+// DeliverBatch pushes a burst of device-egress packets through the
+// network in one gateway drain: the per-packet NIC and queue-hop costs
+// are charged for the whole burst up front (the batch crosses into user
+// space once), the gateway's per-core worker pool enforces the burst, and
+// the survivors are then served in order. Deliveries align with pkts;
+// each Latency spans the whole burst window, matching how a batched queue
+// reader delays individual packets until its drain completes.
+func (n *Network) DeliverBatch(pkts []*ipv4.Packet) []Delivery {
+	out := make([]Delivery, len(pkts))
+	if len(pkts) == 0 {
+		return out
+	}
+	start := n.Clock.Now()
+	for _, pkt := range pkts {
+		n.captureAt(CaptureDeviceEgress, pkt)
+	}
+	perNIC := n.Model.TapPerPacket
+	if n.NIC == ModeSLIRP {
+		perNIC = n.Model.SlirpPerPacket
+	}
+	n.Clock.Advance(perNIC * time.Duration(len(pkts)))
+
+	var outcomes []BatchOutcome
+	gatewayOn := n.Gateway != nil && n.Gateway.Active()
+	if gatewayOn {
+		// One kernel→user-space transition for the burst, then per-packet
+		// enforcement/sanitizing costs as usual.
+		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+		per := time.Duration(0)
+		if n.Gateway.HasEnforcer() {
+			per += n.Model.EnforcerPerPacket
+		}
+		if n.Gateway.HasSanitizer() {
+			per += n.Model.SanitizerPerPacket
+		}
+		n.Clock.Advance(per * time.Duration(len(pkts)))
+		outcomes, _ = n.Gateway.ProcessBatch(pkts)
+	} else {
+		outcomes = make([]BatchOutcome, len(pkts))
+		for i, pkt := range pkts {
+			outcomes[i] = BatchOutcome{Out: pkt}
+		}
+	}
+
+	for i := range pkts {
+		o := outcomes[i]
+		out[i].Enforcement = o.Result
+		if o.Out == nil {
+			out[i].Stage = StageGateway
+			continue
+		}
+		n.serveOne(o.Out, &out[i])
+	}
+	// The responses traverse the gateway's queue on the way back in — one
+	// reinjection hop for the whole burst.
+	if gatewayOn {
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
 	}
-	return Delivery{
-		Delivered:   true,
-		Enforcement: enfRes,
-		Response:    resp,
-		Latency:     n.Clock.Now() - start,
+	total := n.Clock.Now() - start
+	for i := range out {
+		out[i].Latency = total
 	}
+	return out
 }
 
 func (n *Network) captureAt(p CapturePoint, pkt *ipv4.Packet) {

@@ -54,6 +54,10 @@ type Engine struct {
 	defaultV  Verdict
 	defReason string
 
+	// generation counts rule-set replacements; flow-verdict caches key
+	// their entries on it so SetRules invalidates them without callbacks.
+	generation atomic.Uint64
+
 	evaluations atomic.Uint64
 	defaultHits atomic.Uint64
 }
@@ -87,8 +91,17 @@ func (e *Engine) SetRules(rules []Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.compiled.Store(c)
+	// Bump the generation only after the new compiled set is visible: a
+	// reader that observes the new generation is then guaranteed to
+	// evaluate against (at least) the new rules, so a verdict cached under
+	// the new generation can never reflect the old policy.
+	e.generation.Add(1)
 	return nil
 }
+
+// Generation returns the number of SetRules replacements so far. Verdict
+// caches store it with each entry and treat any change as invalidation.
+func (e *Engine) Generation() uint64 { return e.generation.Load() }
 
 // Rules returns a copy of the current rule set.
 func (e *Engine) Rules() []Rule {
