@@ -152,7 +152,15 @@ type DeploymentConfig struct {
 	DeviceAddr netip.Addr
 	// AuditWriter receives one JSON line per enforcement decision (nil
 	// disables file output; the in-memory audit tail is always kept).
+	// Entries are recorded asynchronously: the enforcement path appends a
+	// compact capture and a background drainer batch-encodes the JSON, so
+	// lines reach the writer after the next flush (AuditTail and Close
+	// both flush).
 	AuditWriter io.Writer
+	// AuditQueueCap bounds the pending (recorded but not yet encoded)
+	// audit entries; beyond it entries are counted as dropped rather than
+	// stalling enforcement (0 selects the audit package default).
+	AuditQueueCap int
 }
 
 // Deployment is a running BorderPatrol installation: one provisioned
@@ -226,7 +234,12 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 
 	db := analyzer.NewDatabase()
 	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
-	enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged}
+	auditLog := audit.NewWithConfig(audit.Config{
+		Writer:   cfg.AuditWriter,
+		TailCap:  256,
+		QueueCap: cfg.AuditQueueCap,
+	})
+	enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged, Audit: auditLog}
 	if cfg.FlowCacheSize >= 0 {
 		ttl := cfg.FlowTTL
 		if ttl == 0 {
@@ -254,8 +267,15 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		enforcer:  enf,
 		sanitizer: san,
 		network:   network,
-		audit:     audit.New(cfg.AuditWriter, 256),
+		audit:     auditLog,
 	}, nil
+}
+
+// Close flushes and stops the asynchronous audit pipeline (flush-on-close)
+// and reports its sticky write error, if any. The deployment's other
+// components hold no background resources.
+func (d *Deployment) Close() error {
+	return d.audit.Close()
 }
 
 // InstallApp analyzes the apk into the signature database (the Offline
@@ -337,26 +357,29 @@ func (d *Deployment) ExerciseVia(app *App, functionality string, route Route) ([
 		}
 	}
 	out := make([]Outcome, 0, len(res.Packets))
-	for i, del := range deliveries {
+	for _, del := range deliveries {
 		o := Outcome{Delivered: del.Delivered}
 		if !del.Delivered {
 			o.DropStage = del.Stage.String()
 		}
 		if del.Enforcement != nil {
+			// The enforcer records each decision on the audit pipeline
+			// itself (per packet on the scalar path, once per burst on the
+			// batched path); here we only surface the outcome.
 			o.Stack = del.Enforcement.Stack
 			if del.Enforcement.Decision != nil {
 				o.Reason = del.Enforcement.Decision.Reason
 			} else {
 				o.Reason = del.Enforcement.Cause.String()
 			}
-			d.audit.Record(res.Packets[i], *del.Enforcement)
 		}
 		out = append(out, o)
 	}
 	return out, nil
 }
 
-// AuditTail returns the most recent enforcement audit entries.
+// AuditTail returns the most recent enforcement audit entries (flushing
+// the asynchronous pipeline first, so everything recorded is visible).
 func (d *Deployment) AuditTail() []AuditEntry {
 	return d.audit.Tail()
 }
@@ -388,6 +411,14 @@ type DeploymentStats struct {
 	FlowCacheEvictions uint64
 	// FlowsLive is the number of flows currently cached.
 	FlowsLive int
+	// AuditRecorded counts decisions accepted by the async audit pipeline.
+	AuditRecorded uint64
+	// AuditDropped counts decisions shed under audit backpressure (bounded
+	// queue full) — enforcement never blocks on the audit trail.
+	AuditDropped uint64
+	// AuditPending is the approximate number of audit entries not yet
+	// drained to the writer/tail.
+	AuditPending uint64
 }
 
 // Stats snapshots counters across the Context Manager, Policy Enforcer and
@@ -397,6 +428,7 @@ func (d *Deployment) Stats() DeploymentStats {
 	ef := d.enforcer.Stats()
 	sn := d.sanitizer.Stats()
 	pe := d.engine.Stats()
+	au := d.audit.Stats()
 	return DeploymentStats{
 		SocketsTagged:      cm.SocketsTagged,
 		TagFailures:        cm.TagFailures,
@@ -410,6 +442,9 @@ func (d *Deployment) Stats() DeploymentStats {
 		FlowCacheMisses:    ef.Flow.Misses,
 		FlowCacheEvictions: ef.Flow.Evictions,
 		FlowsLive:          ef.Flow.Live,
+		AuditRecorded:      au.Recorded,
+		AuditDropped:       au.Dropped,
+		AuditPending:       au.Pending,
 	}
 }
 

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+BenchmarkProcessFlowHit-8     	10000000	       100.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProcessFlowHit-8     	10000000	       110.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProcessFlowHit-8     	10000000	       105.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRecord-8             	30000000	        37.0 ns/op	         0.9992 dropped/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseStripsCPUSuffixAndIgnoresCustomMetrics(t *testing.T) {
+	res, err := parse(strings.NewReader(baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := res["BenchmarkProcessFlowHit"]
+	if len(hits) != 3 {
+		t.Fatalf("samples = %d, want 3", len(hits))
+	}
+	if m := medianNs(hits); m != 105.0 {
+		t.Fatalf("median ns = %v", m)
+	}
+	rec := res["BenchmarkRecord"]
+	if len(rec) != 1 || rec[0].nsPerOp != 37.0 || !rec[0].hasAllocs || rec[0].allocsPerOp != 0 {
+		t.Fatalf("record sample = %+v", rec)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", strings.ReplaceAll(baseOut, "105.0", "118.0"))
+	if err := run(base, cur, 0.20, false); err != nil {
+		t.Fatalf("gate failed within threshold: %v", err)
+	}
+}
+
+func TestGateFailsOnTimeRegression(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", `
+BenchmarkProcessFlowHit-8  10000000  140.0 ns/op  0 B/op  0 allocs/op
+BenchmarkRecord-8          30000000   37.0 ns/op  0 B/op  0 allocs/op
+`)
+	if err := run(base, cur, 0.20, false); err == nil {
+		t.Fatal("gate passed a 33% ns/op regression")
+	}
+}
+
+func TestGateFailsOnAnyAllocRegression(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", `
+BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  16 B/op  1 allocs/op
+BenchmarkRecord-8          30000000   37.0 ns/op   0 B/op  0 allocs/op
+`)
+	if err := run(base, cur, 0.20, false); err == nil {
+		t.Fatal("gate passed an allocs/op regression")
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", `
+BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  0 B/op  0 allocs/op
+`)
+	if err := run(base, cur, 0.20, false); err == nil {
+		t.Fatal("gate passed with a gated benchmark missing from the run")
+	}
+}
+
+func TestGateToleratesExtraNewBenchmarks(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", baseOut+`
+BenchmarkBrandNew-8  1000  900.0 ns/op  0 B/op  0 allocs/op
+`)
+	if err := run(base, cur, 0.20, false); err != nil {
+		t.Fatalf("gate failed on an extra benchmark: %v", err)
+	}
+}
+
+// TestAllocsOnlySkipsTimeGate: with -allocs-only a large ns/op delta
+// passes (cross-machine baseline) but an alloc increase still fails.
+func TestAllocsOnlySkipsTimeGate(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	slow := write(t, "slow.txt", strings.ReplaceAll(baseOut, "105.0", "400.0"))
+	if err := run(base, slow, 0.20, true); err != nil {
+		t.Fatalf("allocs-only gate failed on a time-only delta: %v", err)
+	}
+	leaky := write(t, "leaky.txt", `
+BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  16 B/op  1 allocs/op
+BenchmarkRecord-8          30000000   37.0 ns/op   0 B/op  0 allocs/op
+`)
+	if err := run(base, leaky, 0.20, true); err == nil {
+		t.Fatal("allocs-only gate passed an allocs/op regression")
+	}
+}
+
+func TestGateRejectsEmptyInputs(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	empty := write(t, "empty.txt", "no benchmarks here\n")
+	if err := run(empty, base, 0.20, false); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if err := run(base, empty, 0.20, false); err == nil {
+		t.Fatal("empty current run accepted")
+	}
+}

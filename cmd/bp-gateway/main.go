@@ -10,11 +10,13 @@
 //	bp-gateway -apps 5            # empty policy: only untagged traffic drops
 //	bp-gateway -workers 8         # size the batched per-core queue drain
 //	bp-gateway -no-flow-cache     # force the uncached per-packet pipeline
+//	bp-gateway -audit trail.jsonl # ship the enforcement audit as JSON lines
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -38,7 +40,18 @@ func run() error {
 	seed := flag.Int64("seed", 2019, "corpus + monkey seed")
 	workers := flag.Int("workers", 0, "gateway batch-drain workers (0 = GOMAXPROCS)")
 	noFlowCache := flag.Bool("no-flow-cache", false, "disable per-flow verdict caching")
+	auditPath := flag.String("audit", "", "write the enforcement audit trail (JSON lines) to this file")
 	flag.Parse()
+
+	var auditW io.Writer
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		auditW = f
+	}
 
 	var rules []policy.Rule
 	if *policyPath != "" {
@@ -67,6 +80,7 @@ func run() error {
 		DefaultVerdict:   policy.VerdictAllow,
 		DisableFlowCache: *noFlowCache,
 		GatewayWorkers:   *workers,
+		AuditWriter:      auditW,
 	})
 	if err != nil {
 		return err
@@ -108,6 +122,14 @@ func run() error {
 	fl := st.Flow
 	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d live flows\n",
 		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.Live)
+	// Flush-on-close so every decision reaches the -audit file before the
+	// stats are printed.
+	if err := tb.Close(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	au := tb.Audit.Stats()
+	fmt.Printf("audit: %d decisions recorded, %d dropped (backpressure), %d drained in %d bursts\n",
+		au.Recorded, au.Dropped, au.Drained, au.Flushes)
 	es := tb.Engine.Stats()
 	ruleHits := uint64(0)
 	for _, n := range es.RuleHits {

@@ -24,6 +24,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Flush the async audit pipeline (JSON lines above) before exiting.
+	defer dep.Close()
 
 	apk := &borderpatrol.APK{
 		PackageName: "com.corp.mail",

@@ -30,6 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dep.Close()
 
 	// 2. Define an app the way the Offline Analyzer would see it: developer
 	//    code plus a bundled tracker library, all in one dex.

@@ -1,0 +1,104 @@
+package borderpatrol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAuditPipelineEndToEnd drives the facade and checks the asynchronous
+// audit pipeline: every enforced packet is recorded, nothing is shed at
+// this scale, entries reach the writer on flush, and Close is clean.
+func TestAuditPipelineEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	dep, err := NewDeployment(DeploymentConfig{
+		Policy:      `{[deny][library]["com/flurry"]}`,
+		AuditWriter: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := dep.Exercise(app, "download"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dep.Exercise(app, "analytics"); err != nil {
+		t.Fatal(err)
+	}
+
+	tail := dep.AuditTail() // flushes the pipeline
+	if len(tail) != 4 {
+		t.Fatalf("audit tail has %d entries, want 4", len(tail))
+	}
+	st := dep.Stats()
+	if st.AuditRecorded != 4 || st.AuditDropped != 0 {
+		t.Fatalf("audit stats = recorded %d dropped %d", st.AuditRecorded, st.AuditDropped)
+	}
+	if st.AuditPending != 0 {
+		t.Fatalf("audit pending = %d after flush", st.AuditPending)
+	}
+	drop := tail[len(tail)-1]
+	if drop.Verdict != "drop" || drop.Cause != "policy" {
+		t.Fatalf("analytics entry = %+v", drop)
+	}
+
+	// Single-request connections announce "Connection: close", so the
+	// gateway tears delivered flows down. The analytics flow was dropped —
+	// no connection ever completed — so its drop verdict deliberately
+	// stays cached, keeping repeat offenders cheap to block.
+	if st.FlowsLive != 1 {
+		t.Fatalf("flows live = %d, want 1 (only the dropped analytics flow)", st.FlowsLive)
+	}
+	// Each download connection re-resolved (no cross-connection hits), and
+	// the analytics flow was evaluated on its own — 4 misses total.
+	if st.FlowCacheMisses != 4 || st.FlowCacheHits != 0 {
+		t.Fatalf("flow stats = hits %d misses %d", st.FlowCacheHits, st.FlowCacheMisses)
+	}
+
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries := buf.String()
+	if entries == "" {
+		t.Fatal("audit writer received nothing")
+	}
+}
+
+// TestKeepAliveFlowsStayCachedEndToEnd: a multi-request functionality
+// rides one keep-alive connection, so later packets hit the flow cache and
+// the flow survives until TTL — the teardown must not fire for it.
+func TestKeepAliveFlowsStayCachedEndToEnd(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	funcs := demoFuncs()
+	funcs[0].Op.Requests = 5 // keep-alive train on one socket
+	app, err := dep.InstallApp(demoAPK(), funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("outcomes = %d, want 5", len(out))
+	}
+	st := dep.Stats()
+	if st.FlowCacheMisses != 1 || st.FlowCacheHits != 4 {
+		t.Fatalf("flow stats = hits %d misses %d, want 4/1", st.FlowCacheHits, st.FlowCacheMisses)
+	}
+	if st.FlowsLive != 1 {
+		t.Fatalf("flows live = %d, want 1 (keep-alive flow cached)", st.FlowsLive)
+	}
+	if st.AuditRecorded != 5 {
+		t.Fatalf("audit recorded = %d, want 5", st.AuditRecorded)
+	}
+}

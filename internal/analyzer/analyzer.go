@@ -37,20 +37,39 @@ type AppEntry struct {
 	Signatures []string `json:"signatures"`
 }
 
-// Database maps truncated and full apk hashes to signature tables. It is
-// safe for concurrent use; the Policy Enforcer reads it on every packet
-// while new apps are provisioned.
-type Database struct {
+// shardCount is the number of lock stripes in a Database, a power of two
+// selected by the first byte of an app's truncated hash (MD5 bytes are
+// uniform, so apps spread evenly). At fleet scale a provisioning write
+// contends only with resolves that land on the same 1/64th of the hash
+// space; the per-packet resolve path never touches a lock another shard's
+// writer holds.
+const shardCount = 64
+
+// dbShard is one lock stripe of the database. Both maps for a given app
+// live in the same shard — the byFull key (full hex hash) starts with the
+// hex form of the truncated hash that selects the shard — so duplicate and
+// collision checks need only the shard lock.
+type dbShard struct {
 	mu sync.RWMutex
-	// generation counts successful mutations; flow-verdict caches key
-	// their entries on it so provisioning a new app invalidates any
-	// verdict that depended on the app being unknown.
-	generation atomic.Uint64
 	// byFull maps full 32-hex MD5 to entry.
 	byFull map[string]*entry
 	// byTruncated maps the 8-byte packet identifier to the full hash.
 	// Collisions (paper §VII "Hash collision") are detected at insert.
 	byTruncated map[dex.TruncatedHash]string
+	// pad keeps neighbouring shard locks off one cache line.
+	_ [40]byte
+}
+
+// Database maps truncated and full apk hashes to signature tables. It is
+// safe for concurrent use; the Policy Enforcer reads it on every packet
+// while new apps are provisioned, so the table is sharded by truncated-hash
+// prefix: resolves RLock one shard, provisioning writes lock one shard.
+type Database struct {
+	// generation counts successful mutations; flow-verdict caches key
+	// their entries on it so provisioning a new app invalidates any
+	// verdict that depended on the app being unknown.
+	generation atomic.Uint64
+	shards     [shardCount]dbShard
 }
 
 // entry is immutable once inserted: the Resolver hands out lock-free
@@ -74,10 +93,17 @@ var (
 
 // NewDatabase returns an empty signature database.
 func NewDatabase() *Database {
-	return &Database{
-		byFull:      make(map[string]*entry),
-		byTruncated: make(map[dex.TruncatedHash]string),
+	db := &Database{}
+	for i := range db.shards {
+		db.shards[i].byFull = make(map[string]*entry)
+		db.shards[i].byTruncated = make(map[dex.TruncatedHash]string)
 	}
+	return db
+}
+
+// shardFor selects the lock stripe owning a truncated hash.
+func (db *Database) shardFor(t dex.TruncatedHash) *dbShard {
+	return &db.shards[t[0]&(shardCount-1)]
 }
 
 // AnalyzeAPK extracts the deterministic signature table for one apk,
@@ -138,16 +164,17 @@ func (db *Database) AddEntry(ae AppEntry) error {
 		return fmt.Errorf("analyzer: entry hash %q: %w", ae.Hash, err)
 	}
 
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.byFull[ae.Hash]; dup {
+	s := db.shardFor(trunc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byFull[ae.Hash]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicateEntry, ae.Hash)
 	}
-	if existing, clash := db.byTruncated[trunc]; clash && existing != ae.Hash {
+	if existing, clash := s.byTruncated[trunc]; clash && existing != ae.Hash {
 		return fmt.Errorf("%w: %s vs %s", ErrHashCollision, existing, ae.Hash)
 	}
-	db.byFull[ae.Hash] = e
-	db.byTruncated[trunc] = ae.Hash
+	s.byFull[ae.Hash] = e
+	s.byTruncated[trunc] = ae.Hash
 	// Bump the generation only after the entry is resolvable, so a reader
 	// observing the new generation re-evaluates against the new entry.
 	db.generation.Add(1)
@@ -160,21 +187,27 @@ func (db *Database) Generation() uint64 { return db.generation.Load() }
 
 // Len returns the number of apps in the database.
 func (db *Database) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.byFull)
+	n := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		n += len(s.byFull)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // LookupTruncated resolves a packet's 8-byte app identifier to the app's
 // database entry.
 func (db *Database) LookupTruncated(t dex.TruncatedHash) (AppEntry, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	full, ok := db.byTruncated[t]
+	s := db.shardFor(t)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	full, ok := s.byTruncated[t]
 	if !ok {
 		return AppEntry{}, false
 	}
-	return db.byFull[full].meta, true
+	return s.byFull[full].meta, true
 }
 
 // Resolver is a read-only handle to one app's signature table, resolved
@@ -188,15 +221,18 @@ type Resolver struct {
 }
 
 // Resolve looks up the app behind a packet's truncated hash and returns a
-// lock-free handle to its signature table.
+// lock-free handle to its signature table. The single RLock it takes is on
+// the hash's shard, so resolves proceed in parallel with provisioning
+// writes to the other shards.
 func (db *Database) Resolve(t dex.TruncatedHash) (Resolver, bool) {
-	db.mu.RLock()
-	full, ok := db.byTruncated[t]
+	s := db.shardFor(t)
+	s.mu.RLock()
+	full, ok := s.byTruncated[t]
 	var e *entry
 	if ok {
-		e = db.byFull[full]
+		e = s.byFull[full]
 	}
-	db.mu.RUnlock()
+	s.mu.RUnlock()
 	return Resolver{hash: t, e: e}, ok
 }
 
@@ -282,11 +318,14 @@ func (db *Database) Encode(t dex.TruncatedHash, sig dex.Signature) (uint32, erro
 // Hashes returns the full hashes of all apps, sorted, for deterministic
 // serialization.
 func (db *Database) Hashes() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.byFull))
-	for h := range db.byFull {
-		out = append(out, h)
+	var out []string
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for h := range s.byFull {
+			out = append(out, h)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -299,16 +338,20 @@ type jsonDB struct {
 	Apps    []AppEntry `json:"apps"`
 }
 
-// Save writes the database as JSON.
+// Save writes the database as JSON. Entries added concurrently with Save
+// may or may not appear; each shard is snapshotted consistently.
 func (db *Database) Save(w io.Writer) error {
 	doc := jsonDB{Version: 1}
-	hashes := db.Hashes()
-	db.mu.RLock()
-	doc.Apps = make([]AppEntry, 0, len(hashes))
-	for _, h := range hashes {
-		doc.Apps = append(doc.Apps, db.byFull[h].meta)
+	doc.Apps = make([]AppEntry, 0, db.Len())
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for _, e := range s.byFull {
+			doc.Apps = append(doc.Apps, e.meta)
+		}
+		s.mu.RUnlock()
 	}
-	db.mu.RUnlock()
+	sort.Slice(doc.Apps, func(i, j int) bool { return doc.Apps[i].Hash < doc.Apps[j].Hash })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

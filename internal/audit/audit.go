@@ -3,16 +3,55 @@
 // use": administrators configure and update all policies in one spot)
 // implies operators need to see what the enforcer decided and why; this
 // package records one structured entry per packet decision as JSON lines,
-// suitable for log shipping, and keeps bounded in-memory tail for
+// suitable for log shipping, and keeps a bounded in-memory tail for
 // interactive inspection.
+//
+// # Hot path vs drain path
+//
+// Record and RecordBatch are called from the per-packet enforcement path,
+// so they do no JSON encoding and take no global lock: each call appends a
+// compact struct capture of the decision (addresses, hash, verdict, and
+// references to the immutable Stack/Decision the flow cache already
+// shares) to one of several producer stripes under that stripe's mutex. A
+// background drainer periodically swaps the stripe buffers out, orders the
+// captures by sequence number, builds the JSON entries, and writes them to
+// the configured io.Writer in one burst — so the enforcement path is
+// charged a stripe append (tens of ns, zero allocations steady-state) and
+// the encode cost is paid off the packet path, batched per burst.
+//
+// # Backpressure
+//
+// The producer buffers are bounded (Config.QueueCap). If the drainer falls
+// behind — a slow disk, a stalled shipper — Record counts the overflowing
+// entry in Stats.Dropped and returns; enforcement never blocks on the
+// audit trail, and the gap is visible both in the stats and as a hole in
+// the entry sequence numbers.
+//
+// # Delivery guarantees
+//
+// Entries become visible to the writer, Tail and DropsByApp when a drain
+// runs: automatically once a stripe accumulates Config.BatchSize entries,
+// on Flush, and on Close (flush-on-close). Tail and DropsByApp flush
+// before reading, so interactive inspection always sees every record
+// accepted so far. Each drain burst is sorted by the sequence number
+// assigned at Record time; ordering across bursts is best-effort — a
+// producer preempted between taking its sequence number and landing the
+// entry can surface one burst late, so a sequence gap in the stream means
+// a record that was dropped under backpressure *or, rarely, one still in
+// flight* (Stats.Dropped is the authoritative drop count). Records racing
+// Close may be dropped (and counted).
 package audit
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
@@ -22,7 +61,10 @@ import (
 
 // Entry is one enforcement decision record.
 type Entry struct {
-	// Seq is a monotonically increasing record number.
+	// Seq is the record number assigned at Record time. A gap usually
+	// means a record dropped under backpressure (Stats.Dropped is the
+	// authoritative count); rarely it is a record that surfaced in a later
+	// drain burst (see the package comment on ordering).
 	Seq uint64 `json:"seq"`
 	// Src and Dst identify the flow.
 	Src string `json:"src"`
@@ -41,80 +83,473 @@ type Entry struct {
 	PayloadBytes int `json:"payload_bytes"`
 }
 
-// Log records enforcement decisions. A nil *Log is a valid no-op sink.
+// rawEntry is the compact hot-path capture of one decision: fixed-size
+// values plus references to the Result's immutable Stack slice and
+// Decision — nothing is stringified until the drainer builds the Entry.
+type rawEntry struct {
+	seq      uint64
+	src, dst netip.Addr
+	app      dex.TruncatedHash
+	verdict  policy.Verdict
+	cause    enforcer.DropCause
+	decision *policy.Decision
+	stack    []dex.Signature
+	payload  int
+}
+
+// stripe is one producer buffer. Stripes are selected by flow endpoints,
+// so concurrent Record calls from different flows rarely share a lock.
+type stripe struct {
+	mu  sync.Mutex
+	buf []rawEntry
+	// pad keeps neighbouring stripe locks off one cache line.
+	_ [40]byte
+}
+
+// Config sizes an audit log.
+type Config struct {
+	// Writer receives JSON lines, one per entry, flushed per drain burst
+	// (nil disables file output).
+	Writer io.Writer
+	// TailCap bounds the in-memory tail (0 disables it).
+	TailCap int
+	// QueueCap bounds the pending (recorded but not yet drained) entries
+	// across all stripes; beyond it Record counts drops instead of
+	// blocking (default 4096).
+	QueueCap int
+	// BatchSize is the per-stripe fill level that wakes the background
+	// drainer (default 256, clamped to the per-stripe capacity).
+	BatchSize int
+	// Stripes is the number of producer buffers, rounded up to a power of
+	// two (default 8).
+	Stripes int
+}
+
+// Stats snapshots the audit pipeline's counters.
+type Stats struct {
+	// Recorded counts entries accepted onto producer stripes.
+	Recorded uint64
+	// Dropped counts entries discarded because the bounded queue was full
+	// (or the log was closed).
+	Dropped uint64
+	// Drained counts entries the background drainer has processed.
+	Drained uint64
+	// Flushes counts drain bursts that did work.
+	Flushes uint64
+	// Pending is the approximate number of entries awaiting a drain.
+	Pending uint64
+}
+
+// Log records enforcement decisions asynchronously. A nil *Log is a valid
+// no-op sink. It implements enforcer.AuditSink.
 type Log struct {
-	mu   sync.Mutex
-	w    io.Writer
-	seq  uint64
-	tail []Entry
-	// tailCap bounds the in-memory tail (0 disables it).
-	tailCap int
-	// dropsByApp aggregates drop counts per app hash.
+	w          io.Writer
+	tailCap    int
+	batchSize  int
+	perStripe  int
+	queueCap   int
+	stripeMask uint32
+	stripes    []stripe
+
+	// pendingCount approximately tracks entries awaiting a drain so a
+	// saturated queue sheds load with one atomic read instead of probing
+	// every (full) stripe lock. The per-stripe caps remain the hard
+	// memory bound; this counter only short-circuits the full case.
+	pendingCount atomic.Int64
+
+	notify   chan struct{}
+	flushReq chan chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
+	closed   atomic.Bool
+
+	seq     atomic.Uint64 // entries that received a sequence number
+	dropped atomic.Uint64
+	drained atomic.Uint64
+	flushes atomic.Uint64
+
+	// Drainer-owned scratch: swapped-out stripe buffers are merged into
+	// batch, then cleared and handed back as spares.
+	batch  []rawEntry
+	spares [][]rawEntry
+	encBuf bytes.Buffer
+	enc    *json.Encoder
+
+	// mu guards the drainer-published read-side state.
+	mu         sync.Mutex
+	tail       []Entry
 	dropsByApp map[string]uint64
 	writeErr   error
 }
 
-// New builds a log writing JSON lines to w (nil w keeps only the tail).
+// New builds a log writing JSON lines to w (nil w keeps only the tail),
+// with default queue sizing. See NewWithConfig for the full knobs.
 func New(w io.Writer, tailCap int) *Log {
-	return &Log{w: w, tailCap: tailCap, dropsByApp: make(map[string]uint64)}
+	return NewWithConfig(Config{Writer: w, TailCap: tailCap})
 }
 
-// Record converts an enforcement result into an audit entry.
-func (l *Log) Record(pkt *ipv4.Packet, res enforcer.Result) Entry {
-	e := Entry{
-		Src:          pkt.Header.Src.String(),
-		Dst:          pkt.Header.Dst.String(),
-		Verdict:      res.Verdict.String(),
-		PayloadBytes: len(pkt.Payload),
+// NewWithConfig builds a log and starts its background drainer. Callers
+// that care about every entry reaching the writer must Close (or Flush)
+// before discarding the log.
+func NewWithConfig(cfg Config) *Log {
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 4096
 	}
-	var zero dex.TruncatedHash
-	if res.AppHash != zero {
-		e.App = res.AppHash.String()
+	n := cfg.Stripes
+	if n <= 0 {
+		n = 8
 	}
-	if res.Verdict == policy.VerdictDrop {
-		e.Cause = res.Cause.String()
+	p := 1
+	for p < n {
+		p <<= 1
 	}
-	if res.Decision != nil && res.Decision.Rule != nil {
-		e.Rule = res.Decision.Rule.String()
+	per := queueCap / p
+	if per < 1 {
+		per = 1
 	}
-	if len(res.Stack) > 0 {
-		e.Stack = make([]string, len(res.Stack))
-		for i, s := range res.Stack {
-			e.Stack[i] = s.String()
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	if batch > per {
+		batch = per
+	}
+	l := &Log{
+		w:          cfg.Writer,
+		tailCap:    cfg.TailCap,
+		batchSize:  batch,
+		perStripe:  per,
+		queueCap:   per * p,
+		stripeMask: uint32(p - 1),
+		stripes:    make([]stripe, p),
+		notify:     make(chan struct{}, 1),
+		flushReq:   make(chan chan struct{}),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		spares:     make([][]rawEntry, p),
+		dropsByApp: make(map[string]uint64),
+	}
+	for i := range l.stripes {
+		l.stripes[i].buf = make([]rawEntry, 0, per)
+		l.spares[i] = make([]rawEntry, 0, per)
+	}
+	l.enc = json.NewEncoder(&l.encBuf)
+	go l.run()
+	return l
+}
+
+// stripeFor selects the home producer buffer for a packet's flow, so
+// packets of one flow normally stay FIFO within their stripe and
+// concurrent flows spread. Under pressure a full home stripe spills to
+// the next one (see Record), so QueueCap genuinely bounds the whole
+// queue, not one stripe's share of it.
+func (l *Log) stripeFor(pkt *ipv4.Packet) uint32 {
+	var h uint32
+	if pkt.Header.Src.Is4() {
+		a := pkt.Header.Src.As4()
+		h = binary.LittleEndian.Uint32(a[:])
+	}
+	if pkt.Header.Dst.Is4() {
+		a := pkt.Header.Dst.As4()
+		h ^= binary.LittleEndian.Uint32(a[:]) * 0x9e3779b1
+	}
+	h ^= h >> 16
+	return h & l.stripeMask
+}
+
+// capture fills a rawEntry from one decision (no allocation: the Stack
+// slice and Decision pointer are shared with the immutable Result).
+func capture(e *rawEntry, seq uint64, pkt *ipv4.Packet, res enforcer.Result) {
+	e.seq = seq
+	e.src = pkt.Header.Src
+	e.dst = pkt.Header.Dst
+	e.app = res.AppHash
+	e.verdict = res.Verdict
+	e.cause = res.Cause
+	e.decision = res.Decision
+	e.stack = res.Stack
+	e.payload = len(pkt.Payload)
+}
+
+// Record captures one enforcement decision. It never blocks and never
+// encodes: the entry lands on a producer stripe and is JSON-encoded by the
+// background drainer. A full home stripe spills to the next ones, so an
+// entry is only counted in Stats.Dropped and discarded once every stripe
+// is full — i.e. once the whole QueueCap is exhausted.
+//
+// The closed check runs under the stripe lock: Close sets the flag before
+// the drainer's final sweep locks each stripe, so an append that won the
+// lock first is swept by that sweep, and one that lost it observes the
+// flag and counts a drop — no entry can be stranded unaccounted.
+func (l *Log) Record(pkt *ipv4.Packet, res enforcer.Result) {
+	if l == nil {
+		return
+	}
+	seq := l.seq.Add(1)
+	if l.pendingCount.Load() >= int64(l.queueCap) {
+		// Saturated: shed with one atomic read (no lock probing) and kick
+		// the drainer so capacity recovers.
+		l.dropped.Add(1)
+		l.wake()
+		return
+	}
+	home := l.stripeFor(pkt)
+	for i := uint32(0); i <= l.stripeMask; i++ {
+		s := &l.stripes[(home+i)&l.stripeMask]
+		s.mu.Lock()
+		if l.closed.Load() {
+			s.mu.Unlock()
+			l.dropped.Add(1)
+			return
+		}
+		if len(s.buf) >= l.perStripe {
+			s.mu.Unlock()
+			continue
+		}
+		s.buf = append(s.buf, rawEntry{})
+		capture(&s.buf[len(s.buf)-1], seq, pkt, res)
+		n := len(s.buf)
+		s.mu.Unlock()
+		l.pendingCount.Add(1)
+		if n >= l.batchSize {
+			l.wake()
+		}
+		return
+	}
+	// Every stripe filled while we probed: shed the entry.
+	l.dropped.Add(1)
+	l.wake()
+}
+
+// RecordBatch captures a burst of decisions, normally under a single
+// stripe lock acquisition, so the audit cost of a batched gateway drain is
+// charged once per burst rather than once per packet; when the home stripe
+// fills mid-burst the remainder spills onto the next stripes (one lock
+// each). res[i] must correspond to pkts[i]; extra packets without results
+// are ignored.
+func (l *Log) RecordBatch(pkts []*ipv4.Packet, res []enforcer.Result) {
+	if l == nil || len(pkts) == 0 || len(res) == 0 {
+		return
+	}
+	n := len(pkts)
+	if n > len(res) {
+		n = len(res)
+	}
+	base := l.seq.Add(uint64(n)) - uint64(n)
+	if l.pendingCount.Load() >= int64(l.queueCap) {
+		l.dropped.Add(uint64(n))
+		l.wake()
+		return
+	}
+	home := l.stripeFor(pkts[0])
+	kept := 0
+	for i := uint32(0); i <= l.stripeMask && kept < n; i++ {
+		s := &l.stripes[(home+i)&l.stripeMask]
+		s.mu.Lock()
+		if l.closed.Load() {
+			s.mu.Unlock()
+			break
+		}
+		for kept < n && len(s.buf) < l.perStripe {
+			s.buf = append(s.buf, rawEntry{})
+			capture(&s.buf[len(s.buf)-1], base+uint64(kept)+1, pkts[kept], res[kept])
+			kept++
+		}
+		filled := len(s.buf)
+		s.mu.Unlock()
+		if filled >= l.batchSize {
+			l.wake()
 		}
 	}
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	e.Seq = l.seq
-	if res.Verdict == policy.VerdictDrop && e.App != "" {
-		l.dropsByApp[e.App]++
+	if kept > 0 {
+		l.pendingCount.Add(int64(kept))
 	}
-	if l.tailCap > 0 {
-		l.tail = append(l.tail, e)
-		if len(l.tail) > l.tailCap {
+	if kept < n {
+		l.dropped.Add(uint64(n - kept))
+		l.wake()
+	}
+}
+
+// wake nudges the drainer without blocking the packet path.
+func (l *Log) wake() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the background drainer loop.
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.notify:
+			l.drain()
+		case ack := <-l.flushReq:
+			l.drain()
+			close(ack)
+		case <-l.quit:
+			l.drain()
+			return
+		}
+	}
+}
+
+// drain swaps out every stripe buffer, orders the captured entries by
+// sequence number, publishes them to the tail and per-app counters, and
+// writes the whole burst's JSON lines with a single Write call.
+func (l *Log) drain() {
+	batch := l.batch[:0]
+	for i := range l.stripes {
+		s := &l.stripes[i]
+		s.mu.Lock()
+		if len(s.buf) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		taken := s.buf
+		s.buf = l.spares[i]
+		s.mu.Unlock()
+		batch = append(batch, taken...)
+		// Clear the swapped buffer so its Decision/Stack references do not
+		// pin results past their drain, then hand it back as the spare.
+		clear(taken)
+		l.spares[i] = taken[:0]
+	}
+	if len(batch) == 0 {
+		l.batch = batch
+		return
+	}
+	l.pendingCount.Add(-int64(len(batch)))
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+
+	buildEntries := l.w != nil || l.tailCap > 0
+	l.encBuf.Reset()
+	l.mu.Lock()
+	for i := range batch {
+		raw := &batch[i]
+		if raw.verdict == policy.VerdictDrop {
+			var zero dex.TruncatedHash
+			if raw.app != zero {
+				l.dropsByApp[raw.app.String()]++
+			}
+		}
+		if !buildEntries {
+			continue
+		}
+		e := buildEntry(raw)
+		if l.tailCap > 0 {
+			l.tail = append(l.tail, e)
+		}
+		if l.w != nil {
+			if err := l.enc.Encode(e); err != nil && l.writeErr == nil {
+				l.writeErr = fmt.Errorf("audit: encode: %w", err)
+			}
+		}
+	}
+	// Trim the tail once per burst, not once per entry: compact only when
+	// it has doubled past capacity so the copy is amortized O(1)/entry.
+	if l.tailCap > 0 && len(l.tail) > l.tailCap {
+		if len(l.tail) >= 2*l.tailCap {
+			l.tail = append(l.tail[:0], l.tail[len(l.tail)-l.tailCap:]...)
+		} else {
 			l.tail = l.tail[len(l.tail)-l.tailCap:]
 		}
 	}
-	if l.w != nil {
-		enc := json.NewEncoder(l.w)
-		if err := enc.Encode(e); err != nil && l.writeErr == nil {
-			l.writeErr = fmt.Errorf("audit: write: %w", err)
+	l.mu.Unlock()
+
+	if l.w != nil && l.encBuf.Len() > 0 {
+		if _, err := l.w.Write(l.encBuf.Bytes()); err != nil {
+			l.mu.Lock()
+			if l.writeErr == nil {
+				l.writeErr = fmt.Errorf("audit: write: %w", err)
+			}
+			l.mu.Unlock()
+		}
+	}
+	l.drained.Add(uint64(len(batch)))
+	l.flushes.Add(1)
+	clear(batch)
+	l.batch = batch[:0]
+}
+
+// buildEntry stringifies one raw capture into its JSON-facing form.
+func buildEntry(raw *rawEntry) Entry {
+	e := Entry{
+		Seq:          raw.seq,
+		Src:          raw.src.String(),
+		Dst:          raw.dst.String(),
+		Verdict:      raw.verdict.String(),
+		PayloadBytes: raw.payload,
+	}
+	var zero dex.TruncatedHash
+	if raw.app != zero {
+		e.App = raw.app.String()
+	}
+	if raw.verdict == policy.VerdictDrop {
+		e.Cause = raw.cause.String()
+	}
+	if raw.decision != nil && raw.decision.Rule != nil {
+		e.Rule = raw.decision.Rule.String()
+	}
+	if len(raw.stack) > 0 {
+		e.Stack = make([]string, len(raw.stack))
+		for i, s := range raw.stack {
+			e.Stack[i] = s.String()
 		}
 	}
 	return e
 }
 
-// Tail returns the most recent entries (up to the tail capacity).
+// Flush forces a drain of everything recorded so far and waits for it,
+// then reports the sticky write error, if any. Safe to call concurrently;
+// a no-op after Close (Close already flushed).
+func (l *Log) Flush() error {
+	if l == nil {
+		return nil
+	}
+	ack := make(chan struct{})
+	select {
+	case l.flushReq <- ack:
+		<-ack
+	case <-l.done:
+	}
+	return l.Err()
+}
+
+// Close drains every pending entry (flush-on-close), stops the background
+// drainer, and reports the sticky write error. Records racing Close may be
+// dropped and counted. Idempotent.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	if l.closed.CompareAndSwap(false, true) {
+		close(l.quit)
+	}
+	<-l.done
+	return l.Err()
+}
+
+// Tail returns the most recent entries (up to the tail capacity), flushing
+// first so everything recorded is visible.
 func (l *Log) Tail() []Entry {
+	if l == nil {
+		return nil
+	}
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Entry(nil), l.tail...)
 }
 
-// DropsByApp returns a copy of the per-app drop counters.
+// DropsByApp returns a copy of the per-app drop counters, flushing first.
 func (l *Log) DropsByApp() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make(map[string]uint64, len(l.dropsByApp))
@@ -124,11 +559,43 @@ func (l *Log) DropsByApp() map[string]uint64 {
 	return out
 }
 
-// Err returns the first write error encountered, if any.
+// Err returns the first write error encountered, if any. Errors surface
+// once the failing entry is drained (Flush forces that).
 func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.writeErr
+}
+
+// Stats snapshots the pipeline counters.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	// Load dropped before seq: every drop takes its seq first, so a seq
+	// snapshot taken after the dropped snapshot can only over-count
+	// recorded entries, never underflow it. Clamp anyway for safety.
+	dropped := l.dropped.Load()
+	seq := l.seq.Load()
+	drained := l.drained.Load()
+	var recorded uint64
+	if seq > dropped {
+		recorded = seq - dropped
+	}
+	var pending uint64
+	if recorded > drained {
+		pending = recorded - drained
+	}
+	return Stats{
+		Recorded: recorded,
+		Dropped:  dropped,
+		Drained:  drained,
+		Flushes:  l.flushes.Load(),
+		Pending:  pending,
+	}
 }
 
 // ReadEntries parses a JSON-lines audit stream.

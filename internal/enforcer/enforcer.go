@@ -46,6 +46,17 @@ func NewFlowCache(cfg flowtable.Config) *FlowCache {
 	return flowtable.New[Result](cfg)
 }
 
+// AuditSink receives enforcement decisions. Implementations must never
+// block: the enforcer calls Record on the per-packet path and RecordBatch
+// once per batched drain (audit.Log satisfies this with a bounded async
+// pipeline that sheds load instead of stalling enforcement).
+type AuditSink interface {
+	// Record captures one decision.
+	Record(pkt *ipv4.Packet, res Result)
+	// RecordBatch captures a burst; res[i] corresponds to pkts[i].
+	RecordBatch(pkts []*ipv4.Packet, res []Result)
+}
+
 // Config selects enforcer behaviour for edge cases.
 type Config struct {
 	// AllowUntagged admits packets without a BorderPatrol option instead of
@@ -59,6 +70,9 @@ type Config struct {
 	// Flows enables per-flow verdict caching (nil disables it). The cache
 	// is consulted before tag decoding; see the package comment.
 	Flows *FlowCache
+	// Audit receives every decision (nil disables auditing). Process
+	// records per packet; ProcessBatch records once per burst.
+	Audit AuditSink
 }
 
 // DropCause classifies why the enforcer dropped a packet.
@@ -150,6 +164,7 @@ type Enforcer struct {
 	db     *analyzer.Database
 	engine *policy.Engine
 	flows  *FlowCache
+	audit  AuditSink
 
 	scratches sync.Pool // *scratch, reused across packets
 
@@ -166,6 +181,7 @@ func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
 		db:        db,
 		engine:    engine,
 		flows:     cfg.Flows,
+		audit:     cfg.Audit,
 		scratches: sync.Pool{New: func() any { return new(scratch) }},
 	}
 }
@@ -207,6 +223,9 @@ func flowKey(pkt *ipv4.Packet, tagData []byte) (k flowtable.Key, ok bool) {
 func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
 	res := e.process(pkt)
 	e.count(res)
+	if e.audit != nil {
+		e.audit.Record(pkt, res)
+	}
 	return res
 }
 
@@ -353,7 +372,32 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 		e.count(res)
 		out = append(out, res)
 	}
+	if e.audit != nil {
+		// One audit charge for the whole burst (a single stripe lock in the
+		// async pipeline), not one per packet.
+		e.audit.RecordBatch(pkts, out)
+	}
 	return out
+}
+
+// EndFlow removes a packet's flow from the verdict cache — the explicit
+// teardown the gateway calls when it observes a connection close, so dead
+// flows free their slot immediately instead of waiting for TTL or
+// eviction pressure. The next packet on the same flow re-resolves through
+// the full pipeline. Reports whether a cached verdict was removed.
+func (e *Enforcer) EndFlow(pkt *ipv4.Packet) bool {
+	if e.flows == nil {
+		return false
+	}
+	opt, tagged := pkt.Header.FindOption(ipv4.OptSecurity)
+	if !tagged {
+		return false
+	}
+	key, cacheable := flowKey(pkt, opt.Data)
+	if !cacheable {
+		return false
+	}
+	return e.flows.Delete(key)
 }
 
 // Stats returns a snapshot of the counters.

@@ -165,10 +165,12 @@ func RunCloudCaseStudy() (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tbBP.Close()
 	tbOff, err := NewTestbed(apps, TestbedConfig{EnforcementOn: false})
 	if err != nil {
 		return nil, err
 	}
+	defer tbOff.Close()
 
 	for i, ga := range apps {
 		res.AppNames = append(res.AppNames, ga.APK.PackageName)
@@ -222,6 +224,7 @@ func extractUploadRules(apps []*apkgen.App) ([]policy.Rule, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	var basePkts, badPkts []*ipv4.Packet
 	for i, ga := range apps {
 		for _, fn := range ga.Functionalities {
@@ -275,10 +278,12 @@ func RunFacebookCaseStudy() (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tbBP.Close()
 	tbOff, err := NewTestbed(apps, TestbedConfig{EnforcementOn: false})
 	if err != nil {
 		return nil, err
 	}
+	defer tbOff.Close()
 
 	res.AppNames = append(res.AppNames, app.APK.PackageName)
 	for _, fn := range app.Functionalities {

@@ -68,6 +68,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	var all []*ipv4.Packet
 	var coverage float64
 	for i, app := range tb.Apps {

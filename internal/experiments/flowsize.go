@@ -98,10 +98,12 @@ func RunFlowSize(corpus []*apkgen.App, threshold int) (*FlowSizeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	tbOff, err := NewTestbed([]*apkgen.App{uploader}, TestbedConfig{EnforcementOn: false})
 	if err != nil {
 		return nil, err
 	}
+	defer tbOff.Close()
 
 	// Threshold mechanism sees the unenforced packets.
 	mono, err := tbOff.Apps[0].Invoke("monolithic")
@@ -215,11 +217,13 @@ func replayOnce(hardened bool) (replayOutcome, error) {
 	// NewTestbed always hardens; for the prototype case rebuild the device
 	// kernel behaviour by toggling through a fresh unhardened testbed.
 	if !hardened {
+		tb.Close()
 		tb, err = newUnhardenedTestbed(app, rules)
 		if err != nil {
 			return replayOutcome{}, err
 		}
 	}
+	defer func() { tb.Close() }()
 
 	// Run the benign functionality and steal its tag.
 	benign, err := tb.Apps[0].Invoke("benign")

@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/android"
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/audit"
 	"borderpatrol/internal/contextmgr"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/flowtable"
@@ -32,6 +34,9 @@ type Testbed struct {
 	Engine   *policy.Engine
 	Enforcer *enforcer.Enforcer
 	Network  *netsim.Network
+	// Audit is the gateway's asynchronous enforcement audit trail (only
+	// wired when enforcement is on).
+	Audit *audit.Log
 	// Apps are the installed corpus apps in install order.
 	Apps []*android.App
 	// Corpus preserves the generator metadata per installed app.
@@ -58,6 +63,9 @@ type TestbedConfig struct {
 	DisableFlowCache bool
 	// GatewayWorkers sizes the batched per-core queue drain (0 = GOMAXPROCS).
 	GatewayWorkers int
+	// AuditWriter receives the enforcement audit as JSON lines (nil keeps
+	// only counters and the in-memory tail).
+	AuditWriter io.Writer
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -99,7 +107,8 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		Workers:   cfg.GatewayWorkers,
 	}
 	if cfg.EnforcementOn {
-		enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged}
+		tb.Audit = audit.New(cfg.AuditWriter, 256)
+		enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged, Audit: tb.Audit}
 		if !cfg.DisableFlowCache {
 			enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{Clock: tb.Network.Clock})
 		}
@@ -145,4 +154,10 @@ func (tb *Testbed) DeliverAll(pkts []*ipv4.Packet) (delivered, dropped int) {
 		}
 	}
 	return delivered, dropped
+}
+
+// Close flushes and stops the audit pipeline (a no-op for observation
+// testbeds without enforcement).
+func (tb *Testbed) Close() error {
+	return tb.Audit.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/audit"
 	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/trackers"
@@ -43,6 +44,9 @@ type ValidationResult struct {
 	// FlowStats snapshots the enforced run's per-flow verdict cache:
 	// repeat packets of a functionality's flow skip the pipeline entirely.
 	FlowStats flowtable.Stats
+	// AuditStats snapshots the enforced run's async audit pipeline: every
+	// enforcement decision must be recorded and none shed.
+	AuditStats audit.Stats
 }
 
 // ValidationConfig parameterizes the experiment.
@@ -107,10 +111,12 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tbOff.Close()
 	tbOn, err := NewTestbed(sample, TestbedConfig{EnforcementOn: true, Rules: rules, DefaultVerdict: policy.VerdictAllow})
 	if err != nil {
 		return nil, err
 	}
+	defer tbOn.Close()
 
 	for i, ga := range sample {
 		visible := false
@@ -157,6 +163,13 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	res.LibrariesCovered = len(covered)
 	res.EngineStats = tbOn.Engine.Stats()
 	res.FlowStats = tbOn.Enforcer.Stats().Flow
+	// Flush the async audit pipeline so the snapshot covers every decision
+	// of the run (the deferred Closes release both drainers; Close is
+	// idempotent).
+	if err := tbOn.Close(); err != nil {
+		return nil, fmt.Errorf("validation: audit: %w", err)
+	}
+	res.AuditStats = tbOn.Audit.Stats()
 	return res, nil
 }
 
@@ -223,5 +236,7 @@ func (r *ValidationResult) Format() string {
 	}
 	fmt.Fprintf(&b, "flow cache: %d hits, %d misses, %d live flows\n",
 		r.FlowStats.Hits, r.FlowStats.Misses, r.FlowStats.Live)
+	fmt.Fprintf(&b, "audit: %d decisions recorded, %d dropped, %d flush bursts\n",
+		r.AuditStats.Recorded, r.AuditStats.Dropped, r.AuditStats.Flushes)
 	return b.String()
 }

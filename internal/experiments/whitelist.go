@@ -53,6 +53,7 @@ func RunWhitelist() (*WhitelistResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tbVet.Close()
 	var vetted []*ipv4.Packet
 	for _, fn := range app.Functionalities {
 		if !fn.Desirable {
@@ -90,6 +91,7 @@ func RunWhitelist() (*WhitelistResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tb.Close()
 	res := &WhitelistResult{VettedRules: len(rules)}
 	for _, fn := range app.Functionalities {
 		r, err := tb.Apps[0].Invoke(fn.Name)

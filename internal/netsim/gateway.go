@@ -174,6 +174,19 @@ func (g *Gateway) ProcessBatch(pkts []*ipv4.Packet) ([]BatchOutcome, error) {
 	return out, err
 }
 
+// CloseFlow tells the enforcement stage a connection has ended (the
+// conntrack analogue of seeing the flow close), so its cached verdict is
+// torn down immediately instead of lingering until TTL or eviction. pkt is
+// any packet of the flow still carrying its tag — teardown keys on the
+// same (endpoints, proto, tag bytes) tuple the cache does. Reports whether
+// a cached verdict was removed.
+func (g *Gateway) CloseFlow(pkt *ipv4.Packet) bool {
+	if g.enforcer == nil {
+		return false
+	}
+	return g.enforcer.EndFlow(pkt)
+}
+
 // Netfilter exposes the gateway's filter table (stats, extra rules).
 func (g *Gateway) Netfilter() *kernel.Netfilter { return g.nf }
 

@@ -260,11 +260,17 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 		}
 		cur = out
 	}
-	n.serveOne(cur, &d)
+	closed := n.serveOne(cur, &d)
 	// The response traverses the gateway's queue on the way back in
 	// (conntrack reinjection into the same NFQUEUE reader).
 	if d.Delivered && !skipGateway && n.Gateway != nil && n.Gateway.Active() {
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+		if closed {
+			// The connection announced its end: tear the flow's cached
+			// verdict down now (the sanitized copy lost its tag, so the
+			// teardown keys on the original device-egress packet).
+			n.Gateway.CloseFlow(pkt)
+		}
 	}
 	d.Latency = n.Clock.Now() - start
 	return d
@@ -273,8 +279,10 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 // serveOne is the post-gateway delivery tail shared by the scalar and
 // batch paths: post-gateway capture, route lookup, RFC 7126 border
 // filtering, wire/server virtual-time charges, and the HTTP response. It
-// fills d's Delivered, Stage and Response.
-func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) {
+// fills d's Delivered, Stage and Response, and reports whether the served
+// request announced the end of its connection ("Connection: close") — the
+// signal the gateway uses to tear down the flow's cached verdict.
+func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) (connClosed bool) {
 	n.captureAt(CapturePostGateway, cur)
 
 	n.mu.Lock()
@@ -282,14 +290,14 @@ func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) {
 	n.mu.Unlock()
 	if !ok {
 		d.Stage = StageNoRoute
-		return
+		return false
 	}
 
 	// RFC 7126 filtering on the public path.
 	if n.BorderFilterEnabled && !srv.Internal {
 		if ipv4.BorderFilter(cur) == ipv4.BorderDrop {
 			d.Stage = StageBorder
-			return
+			return false
 		}
 	}
 
@@ -303,9 +311,11 @@ func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) {
 		if srv.Handler != nil {
 			d.Response = srv.Handler(req)
 		}
+		connClosed = !req.KeepAlive
 	}
 	n.Clock.Advance(n.Model.WireRTT / 2)
 	d.Delivered = true
+	return connClosed
 }
 
 // DeliverBatch pushes a burst of device-egress packets through the
@@ -359,7 +369,11 @@ func (n *Network) DeliverBatch(pkts []*ipv4.Packet) []Delivery {
 			out[i].Stage = StageGateway
 			continue
 		}
-		n.serveOne(o.Out, &out[i])
+		if n.serveOne(o.Out, &out[i]) && gatewayOn {
+			// Same teardown as the scalar path, keyed on the still-tagged
+			// device-egress packet.
+			n.Gateway.CloseFlow(pkts[i])
+		}
 	}
 	// The responses traverse the gateway's queue on the way back in — one
 	// reinjection hop for the whole burst.

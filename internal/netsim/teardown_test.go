@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"testing"
+
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/flowtable"
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/sanitizer"
+)
+
+// keepAliveVariant rebuilds a tagged packet's payload with
+// "Connection: keep-alive", so the connection survives the response.
+func keepAliveVariant(t *testing.T, pkt *ipv4.Packet) *ipv4.Packet {
+	t.Helper()
+	req := &httpsim.Request{Method: "GET", Path: "/", Host: "example", KeepAlive: true}
+	out := pkt.Clone()
+	out.Payload = req.Marshal()
+	return out
+}
+
+// TestConnectionCloseTearsDownFlow is the explicit-teardown satellite: a
+// served "Connection: close" request must delete the flow's cached verdict
+// (flowtable.Delete via Gateway.CloseFlow), and the next packet of the
+// same flow must re-resolve through the full pipeline to the same verdict.
+func TestConnectionCloseTearsDownFlow(t *testing.T) {
+	enf0, apk, db := buildEnforcerAndDB(t)
+	flows := enforcer.NewFlowCache(flowtable.Config{Capacity: 1024})
+	enf := enforcer.New(enforcer.Config{Flows: flows}, db, enf0.Engine())
+	gw := NewGateway(GatewayConfig{Enforcer: enf, Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+
+	pkt := taggedPacket(t, apk, db, "sync") // "Connection: close" payload
+	d := n.Deliver(pkt)
+	if !d.Delivered {
+		t.Fatalf("first delivery failed: %+v", d)
+	}
+	st := flows.Stats()
+	if st.Live != 0 {
+		t.Fatalf("flow still cached after connection close: %+v", st)
+	}
+	if st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("first delivery stats: %+v", st)
+	}
+
+	// The evicted flow re-resolves: a second connection on the same tuple
+	// pays the pipeline again and reaches the same verdict.
+	d2 := n.Deliver(pkt)
+	if !d2.Delivered {
+		t.Fatalf("re-resolved delivery failed: %+v", d2)
+	}
+	st = flows.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("second delivery must re-resolve, stats: %+v", st)
+	}
+	if evals := enf.Engine().Stats().Evaluations; evals != 2 {
+		t.Fatalf("policy evaluations = %d, want 2 (one per connection)", evals)
+	}
+	if d2.Enforcement.Verdict != d.Enforcement.Verdict {
+		t.Fatalf("re-resolved verdict %v != original %v", d2.Enforcement.Verdict, d.Enforcement.Verdict)
+	}
+}
+
+// TestKeepAliveFlowSurvivesDelivery: the teardown must key on the
+// connection actually ending — keep-alive traffic stays cached and later
+// packets hit.
+func TestKeepAliveFlowSurvivesDelivery(t *testing.T) {
+	enf0, apk, db := buildEnforcerAndDB(t)
+	flows := enforcer.NewFlowCache(flowtable.Config{Capacity: 1024})
+	enf := enforcer.New(enforcer.Config{Flows: flows}, db, enf0.Engine())
+	gw := NewGateway(GatewayConfig{Enforcer: enf, Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+
+	pkt := keepAliveVariant(t, taggedPacket(t, apk, db, "sync"))
+	if d := n.Deliver(pkt); !d.Delivered {
+		t.Fatalf("first delivery failed: %+v", d)
+	}
+	if st := flows.Stats(); st.Live != 1 {
+		t.Fatalf("keep-alive flow not cached: %+v", st)
+	}
+	if d := n.Deliver(pkt); !d.Delivered {
+		t.Fatalf("second delivery failed: %+v", d)
+	}
+	st := flows.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("keep-alive second packet must hit: %+v", st)
+	}
+}
+
+// TestBatchDeliveryTearsDownClosedFlows: the batched path tears down too —
+// a burst of one single-request connection leaves no live flow, and a
+// fresh burst re-resolves.
+func TestBatchDeliveryTearsDownClosedFlows(t *testing.T) {
+	enf0, apk, db := buildEnforcerAndDB(t)
+	flows := enforcer.NewFlowCache(flowtable.Config{Capacity: 1024})
+	enf := enforcer.New(enforcer.Config{Flows: flows}, db, enf0.Engine())
+	gw := NewGateway(GatewayConfig{Enforcer: enf, Sanitizer: sanitizer.New(sanitizer.Config{}), Workers: 2})
+	n := newStaticNetwork(ModeTAP, gw)
+
+	pkt := taggedPacket(t, apk, db, "sync")
+	burst := []*ipv4.Packet{pkt, pkt, pkt, pkt}
+	for i, d := range n.DeliverBatch(burst) {
+		if !d.Delivered {
+			t.Fatalf("burst pkt %d dropped: %+v", i, d)
+		}
+	}
+	if st := flows.Stats(); st.Live != 0 {
+		t.Fatalf("closed flow survived the batch drain: %+v", st)
+	}
+	for i, d := range n.DeliverBatch(burst) {
+		if !d.Delivered || d.Enforcement.Verdict != policy.VerdictAllow {
+			t.Fatalf("re-resolved burst pkt %d: %+v", i, d)
+		}
+	}
+	if st := flows.Stats(); st.Misses != 2 {
+		t.Fatalf("each burst must re-resolve its flow once: %+v", st)
+	}
+}
+
+// TestCloseFlowGuards: CloseFlow is a safe no-op without an enforcer, a
+// flow cache, or a tag.
+func TestCloseFlowGuards(t *testing.T) {
+	gwNone := NewGateway(GatewayConfig{Passthrough: true})
+	if gwNone.CloseFlow(plainPacket(getRequest())) {
+		t.Fatal("CloseFlow without enforcer reported a removal")
+	}
+
+	enf0, apk, db := buildEnforcerAndDB(t) // no flow cache
+	gwNoCache := NewGateway(GatewayConfig{Enforcer: enf0})
+	if gwNoCache.CloseFlow(taggedPacket(t, apk, db, "sync")) {
+		t.Fatal("CloseFlow without flow cache reported a removal")
+	}
+
+	flows := enforcer.NewFlowCache(flowtable.Config{Capacity: 16})
+	enf := enforcer.New(enforcer.Config{Flows: flows}, db, enf0.Engine())
+	gw := NewGateway(GatewayConfig{Enforcer: enf})
+	if gw.CloseFlow(plainPacket(getRequest())) {
+		t.Fatal("CloseFlow on an untagged packet reported a removal")
+	}
+	// And a real teardown reports true exactly once.
+	pkt := taggedPacket(t, apk, db, "sync")
+	enf.Process(pkt)
+	if !gw.CloseFlow(pkt) {
+		t.Fatal("CloseFlow missed a cached flow")
+	}
+	if gw.CloseFlow(pkt) {
+		t.Fatal("CloseFlow removed a flow twice")
+	}
+}
