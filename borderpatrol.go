@@ -49,6 +49,7 @@ import (
 	"borderpatrol/internal/kernel"
 	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policy"
+	"borderpatrol/internal/policystore"
 	"borderpatrol/internal/sanitizer"
 )
 
@@ -109,6 +110,30 @@ func ParsePolicy(doc string) ([]Rule, error) {
 	return policy.ParsePolicyString(doc)
 }
 
+// PolicySource is a pluggable policy backend feeding a deployment's engine:
+// a file with hot reload, an HTTP endpoint with conditional fetches, or a
+// static inline document. See DeploymentConfig.PolicySource.
+type PolicySource = policystore.Source
+
+// PolicyStoreStats snapshots a deployment's hot-reload policy store.
+type PolicyStoreStats = policystore.Stats
+
+// FilePolicySource watches a policy file: edits hot-swap atomically, a
+// malformed edit keeps the last-good rules serving.
+func FilePolicySource(path string) PolicySource {
+	return policystore.NewFileSource(path)
+}
+
+// HTTPPolicySource polls a policy endpoint with ETag conditional fetches.
+func HTTPPolicySource(url string) PolicySource {
+	return policystore.NewHTTPSource(url, nil)
+}
+
+// StaticPolicySource wraps an inline policy document as a PolicySource.
+func StaticPolicySource(doc string) PolicySource {
+	return policystore.NewStaticSource(doc)
+}
+
 // FormatPolicy renders rules back into a parseable document.
 func FormatPolicy(rules []Rule) string {
 	return policy.FormatPolicy(rules)
@@ -127,8 +152,18 @@ func DefaultCorpusConfig() CorpusConfig {
 // DeploymentConfig assembles a BorderPatrol deployment.
 type DeploymentConfig struct {
 	// Policy is a policy document in the paper's grammar; empty means no
-	// rules (engine default decides everything).
+	// rules (engine default decides everything). Mutually exclusive with
+	// PolicySource.
 	Policy string
+	// PolicySource feeds the policy engine from an external backend (see
+	// FilePolicySource, HTTPPolicySource, StaticPolicySource). The initial
+	// document loads synchronously — a broken initial policy fails
+	// NewDeployment — and later revisions hot-swap atomically, keeping the
+	// last-good rules on any fetch or parse error.
+	PolicySource PolicySource
+	// PolicyPoll is the hot-reload poll interval when PolicySource is set;
+	// 0 disables background polling (ReloadPolicy still works).
+	PolicyPoll time.Duration
 	// DefaultVerdict applies when no rule is decisive; zero value means
 	// VerdictAllow.
 	DefaultVerdict Verdict
@@ -174,6 +209,7 @@ type Deployment struct {
 	sanitizer *sanitizer.Sanitizer
 	network   *netsim.Network
 	audit     *audit.Log
+	policy    *policystore.Store
 }
 
 // Route selects how packets reach the network (paper §VII): on-premises
@@ -194,6 +230,9 @@ type AuditEntry = audit.Entry
 // NewDeployment provisions a device with the Context Manager, builds the
 // policy engine, and stands up the gateway pipeline.
 func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.PolicySource != nil && strings.TrimSpace(cfg.Policy) != "" {
+		return nil, errors.New("borderpatrol: Config.Policy and Config.PolicySource are mutually exclusive")
+	}
 	var rules []Rule
 	if strings.TrimSpace(cfg.Policy) != "" {
 		var err error
@@ -209,6 +248,25 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	engine, err := policy.NewEngine(rules, def)
 	if err != nil {
 		return nil, fmt.Errorf("borderpatrol: %w", err)
+	}
+
+	var store *policystore.Store
+	if cfg.PolicySource != nil {
+		store, err = policystore.New(policystore.Config{
+			Source: cfg.PolicySource,
+			Engine: engine,
+			Poll:   cfg.PolicyPoll,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("borderpatrol: %w", err)
+		}
+		// The initial load is synchronous and fatal: there is no last-good
+		// rule set to fall back to yet, and silently enforcing an empty
+		// policy would fail open. The background poller starts only once
+		// construction can no longer fail, so error returns leak nothing.
+		if err := store.Load(); err != nil {
+			return nil, fmt.Errorf("borderpatrol: initial policy: %w", err)
+		}
 	}
 
 	hardened := true
@@ -259,6 +317,9 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Workers:   cfg.GatewayWorkers,
 	})
 
+	if store != nil {
+		store.Start()
+	}
 	return &Deployment{
 		device:    device,
 		manager:   manager,
@@ -268,13 +329,17 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		sanitizer: san,
 		network:   network,
 		audit:     auditLog,
+		policy:    store,
 	}, nil
 }
 
-// Close flushes and stops the asynchronous audit pipeline (flush-on-close)
-// and reports its sticky write error, if any. The deployment's other
-// components hold no background resources.
+// Close stops the policy store's hot-reload poller (when a PolicySource is
+// configured), then flushes and stops the asynchronous audit pipeline
+// (flush-on-close) and reports its sticky write error, if any.
 func (d *Deployment) Close() error {
+	if d.policy != nil {
+		d.policy.Close()
+	}
 	return d.audit.Close()
 }
 
@@ -309,13 +374,33 @@ func (d *Deployment) InstallGenerated(ga *GeneratedApp) (*App, error) {
 	return d.InstallApp(ga.APK, ga.Functionalities)
 }
 
-// SetPolicy replaces the active rules (central reconfiguration, §IV).
+// SetPolicy replaces the active rules (central reconfiguration, §IV). With
+// a PolicySource configured, prefer updating the backend: the source's
+// next reload overrides anything set here.
 func (d *Deployment) SetPolicy(doc string) error {
 	rules, err := policy.ParsePolicyString(doc)
 	if err != nil {
 		return fmt.Errorf("borderpatrol: %w", err)
 	}
 	return d.engine.SetRules(rules)
+}
+
+// ReloadPolicy runs one synchronous policy-store reload cycle: fetch the
+// backend, and — when the document changed — compile and atomically swap
+// the rules. Reports whether a new rule set was applied. On error the
+// last-good rules keep serving (the failure is visible in Stats). Returns
+// an error when no PolicySource is configured.
+func (d *Deployment) ReloadPolicy() (applied bool, err error) {
+	if d.policy == nil {
+		return false, errors.New("borderpatrol: no PolicySource configured")
+	}
+	return d.policy.Reload()
+}
+
+// PolicyStoreStats snapshots the hot-reload policy store (zero value when
+// no PolicySource is configured).
+func (d *Deployment) PolicyStoreStats() PolicyStoreStats {
+	return d.policy.Stats()
 }
 
 // Outcome reports what happened to one packet an app functionality sent.
@@ -419,6 +504,19 @@ type DeploymentStats struct {
 	// AuditPending is the approximate number of audit entries not yet
 	// drained to the writer/tail.
 	AuditPending uint64
+	// PolicyReloads counts applied policy swaps from the configured
+	// PolicySource, including the initial load (0 without a source).
+	PolicyReloads uint64
+	// PolicyReloadFailures counts candidate policies rejected by a fetch,
+	// parse, or compile error; each rejection left the last-good rules
+	// serving.
+	PolicyReloadFailures uint64
+	// PolicyVersion identifies the active policy revision ("" without a
+	// source).
+	PolicyVersion string
+	// PolicyLastError describes the most recent rejected candidate (""
+	// after a clean reload).
+	PolicyLastError string
 }
 
 // Stats snapshots counters across the Context Manager, Policy Enforcer and
@@ -429,22 +527,27 @@ func (d *Deployment) Stats() DeploymentStats {
 	sn := d.sanitizer.Stats()
 	pe := d.engine.Stats()
 	au := d.audit.Stats()
+	ps := d.policy.Stats()
 	return DeploymentStats{
-		SocketsTagged:      cm.SocketsTagged,
-		TagFailures:        cm.TagFailures,
-		PacketsProcessed:   ef.Processed,
-		PacketsAccepted:    ef.Accepted,
-		PacketsDropped:     ef.Dropped,
-		PacketsCleansed:    sn.Cleansed,
-		PolicyEvaluations:  pe.Evaluations,
-		PolicyDefaultHits:  pe.DefaultHits,
-		FlowCacheHits:      ef.Flow.Hits + ef.BatchMemoHits,
-		FlowCacheMisses:    ef.Flow.Misses,
-		FlowCacheEvictions: ef.Flow.Evictions,
-		FlowsLive:          ef.Flow.Live,
-		AuditRecorded:      au.Recorded,
-		AuditDropped:       au.Dropped,
-		AuditPending:       au.Pending,
+		SocketsTagged:        cm.SocketsTagged,
+		TagFailures:          cm.TagFailures,
+		PacketsProcessed:     ef.Processed,
+		PacketsAccepted:      ef.Accepted,
+		PacketsDropped:       ef.Dropped,
+		PacketsCleansed:      sn.Cleansed,
+		PolicyEvaluations:    pe.Evaluations,
+		PolicyDefaultHits:    pe.DefaultHits,
+		FlowCacheHits:        ef.Flow.Hits + ef.BatchMemoHits,
+		FlowCacheMisses:      ef.Flow.Misses,
+		FlowCacheEvictions:   ef.Flow.Evictions,
+		FlowsLive:            ef.Flow.Live,
+		AuditRecorded:        au.Recorded,
+		AuditDropped:         au.Dropped,
+		AuditPending:         au.Pending,
+		PolicyReloads:        ps.Applied,
+		PolicyReloadFailures: ps.Failures,
+		PolicyVersion:        ps.Version,
+		PolicyLastError:      ps.LastError,
 	}
 }
 
@@ -467,6 +570,10 @@ var (
 	RunFlowSize = experiments.RunFlowSize
 	// RunReplay reproduces the §VII tag-replay mitigation.
 	RunReplay = experiments.RunReplay
+	// RunReloadUnderLoad stress-tests central reconfiguration (§IV): policy
+	// swaps under saturating traffic, proving packets never observe a torn
+	// rule set and malformed candidates keep the last-good rules serving.
+	RunReloadUnderLoad = experiments.RunReloadUnderLoad
 )
 
 // Experiment configuration re-exports.
@@ -477,6 +584,10 @@ type (
 	ValidationConfig = experiments.ValidationConfig
 	// Fig4Options sizes the latency stress test.
 	Fig4Options = experiments.Fig4Options
+	// ReloadConfig parameterizes the reload-under-load experiment.
+	ReloadConfig = experiments.ReloadConfig
+	// ReloadResult reports the reload-under-load experiment.
+	ReloadResult = experiments.ReloadResult
 )
 
 // Default experiment configurations.
@@ -484,4 +595,5 @@ var (
 	DefaultFig3Config       = experiments.DefaultFig3Config
 	DefaultValidationConfig = experiments.DefaultValidationConfig
 	DefaultFig4Options      = experiments.DefaultFig4Options
+	DefaultReloadConfig     = experiments.DefaultReloadConfig
 )

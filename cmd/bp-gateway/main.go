@@ -11,19 +11,30 @@
 //	bp-gateway -workers 8         # size the batched per-core queue drain
 //	bp-gateway -no-flow-cache     # force the uncached per-packet pipeline
 //	bp-gateway -audit trail.jsonl # ship the enforcement audit as JSON lines
+//
+// Hot reload (multi-backend policy store): -policy-file polls a policy
+// file for edits, -policy-url polls an HTTP endpoint with ETag conditional
+// fetches; either hot-swaps the compiled rules atomically mid-session and
+// keeps the last-good rules if a candidate fails to parse.
+//
+//	bp-gateway -policy-file policy.bp                  # edit the file while it runs
+//	bp-gateway -policy-url http://ctrl/policy.bp -policy-poll 5s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/experiments"
 	"borderpatrol/internal/monkey"
 	"borderpatrol/internal/policy"
+	"borderpatrol/internal/policystore"
 )
 
 func main() {
@@ -34,7 +45,10 @@ func main() {
 }
 
 func run() error {
-	policyPath := flag.String("policy", "", "policy file in the paper's grammar (empty = allow all)")
+	policyPath := flag.String("policy", "", "policy file in the paper's grammar, loaded once (empty = allow all)")
+	policyFile := flag.String("policy-file", "", "policy file with hot reload: edits apply without restart")
+	policyURL := flag.String("policy-url", "", "policy HTTP endpoint with hot reload (ETag conditional fetches)")
+	policyPoll := flag.Duration("policy-poll", 2*time.Second, "hot-reload poll interval for -policy-file/-policy-url")
 	apps := flag.Int("apps", 20, "number of corpus apps to install")
 	events := flag.Int("events", 1000, "monkey events per app")
 	seed := flag.Int64("seed", 2019, "corpus + monkey seed")
@@ -42,6 +56,23 @@ func run() error {
 	noFlowCache := flag.Bool("no-flow-cache", false, "disable per-flow verdict caching")
 	auditPath := flag.String("audit", "", "write the enforcement audit trail (JSON lines) to this file")
 	flag.Parse()
+
+	set := 0
+	for _, s := range []string{*policyPath, *policyFile, *policyURL} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return errors.New("-policy, -policy-file and -policy-url are mutually exclusive")
+	}
+	var policySource policystore.Source
+	switch {
+	case *policyFile != "":
+		policySource = policystore.NewFileSource(*policyFile)
+	case *policyURL != "":
+		policySource = policystore.NewHTTPSource(*policyURL, nil)
+	}
 
 	var auditW io.Writer
 	if *auditPath != "" {
@@ -81,9 +112,16 @@ func run() error {
 		DisableFlowCache: *noFlowCache,
 		GatewayWorkers:   *workers,
 		AuditWriter:      auditW,
+		PolicySource:     policySource,
+		PolicyPoll:       *policyPoll,
 	})
 	if err != nil {
 		return err
+	}
+	if tb.Policy != nil {
+		ps := tb.Policy.Stats()
+		fmt.Printf("policy store: %d rules from %s (revision %s, hot reload every %s)\n",
+			ps.Rules, ps.Source, ps.Version, *policyPoll)
 	}
 
 	totalPackets, delivered := 0, 0
@@ -122,6 +160,14 @@ func run() error {
 	fl := st.Flow
 	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d live flows\n",
 		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.Live)
+	if tb.Policy != nil {
+		ps := tb.Policy.Stats()
+		fmt.Printf("policy store: %d applied, %d unchanged, %d rejected (last-good kept), revision %s, %d rules\n",
+			ps.Applied, ps.Unchanged, ps.Failures, ps.Version, ps.Rules)
+		if ps.LastError != "" {
+			fmt.Printf("  last rejected candidate: %s\n", ps.LastError)
+		}
+	}
 	// Flush-on-close so every decision reaches the -audit file before the
 	// stats are printed.
 	if err := tb.Close(); err != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"time"
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/android"
@@ -23,6 +24,7 @@ import (
 	"borderpatrol/internal/kernel"
 	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policy"
+	"borderpatrol/internal/policystore"
 	"borderpatrol/internal/sanitizer"
 )
 
@@ -37,6 +39,9 @@ type Testbed struct {
 	// Audit is the gateway's asynchronous enforcement audit trail (only
 	// wired when enforcement is on).
 	Audit *audit.Log
+	// Policy is the hot-reload policy store (nil unless the testbed was
+	// built with a PolicySource).
+	Policy *policystore.Store
 	// Apps are the installed corpus apps in install order.
 	Apps []*android.App
 	// Corpus preserves the generator metadata per installed app.
@@ -66,6 +71,14 @@ type TestbedConfig struct {
 	// AuditWriter receives the enforcement audit as JSON lines (nil keeps
 	// only counters and the in-memory tail).
 	AuditWriter io.Writer
+	// PolicySource feeds the engine from an external policy backend (file,
+	// HTTP, static) instead of Rules. The initial document loads
+	// synchronously — a broken initial policy fails NewTestbed — and later
+	// changes hot-swap atomically with last-good fallback.
+	PolicySource policystore.Source
+	// PolicyPoll starts background hot reload at this interval when > 0
+	// (manual Testbed.Policy.Reload() otherwise). Requires PolicySource.
+	PolicyPoll time.Duration
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -95,6 +108,26 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 	tb := &Testbed{
 		Device: device, Manager: manager, DB: db, Engine: engine,
 		Corpus: corpus,
+	}
+
+	if cfg.PolicySource != nil {
+		if len(cfg.Rules) > 0 {
+			return nil, fmt.Errorf("experiments: TestbedConfig.Rules and PolicySource are mutually exclusive")
+		}
+		store, err := policystore.New(policystore.Config{
+			Source: cfg.PolicySource,
+			Engine: engine,
+			Poll:   cfg.PolicyPoll,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if err := store.Load(); err != nil {
+			return nil, fmt.Errorf("experiments: initial policy: %w", err)
+		}
+		// Started at the very end of construction: no goroutine to leak on
+		// the error paths below.
+		tb.Policy = store
 	}
 
 	nic := cfg.NIC
@@ -140,6 +173,9 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 			})
 		}
 	}
+	if tb.Policy != nil {
+		tb.Policy.Start()
+	}
 	return tb, nil
 }
 
@@ -156,8 +192,12 @@ func (tb *Testbed) DeliverAll(pkts []*ipv4.Packet) (delivered, dropped int) {
 	return delivered, dropped
 }
 
-// Close flushes and stops the audit pipeline (a no-op for observation
-// testbeds without enforcement).
+// Close stops the policy store's hot-reload poller (when one is wired) and
+// flushes and stops the audit pipeline (a no-op for observation testbeds
+// without enforcement).
 func (tb *Testbed) Close() error {
+	if tb.Policy != nil {
+		tb.Policy.Close()
+	}
 	return tb.Audit.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -17,6 +18,17 @@ import (
 // Lines starting with // are comments; blank lines are ignored. Multi-line
 // rules are supported because the paper's own examples wrap long method
 // signatures across lines.
+//
+// Targets are Go-quoted strings: FormatPolicy renders them with %q and the
+// parser unquotes with strconv.Unquote, so targets containing quotes,
+// backslashes, braces, brackets or control characters survive a
+// format→parse round trip byte-for-byte. Hand-written documents that are
+// not valid Go string literals (e.g. a stray inner quote) keep the
+// historical strip-the-outer-quotes behaviour.
+//
+// Parse errors name the line — or, for multi-line rules, the line range —
+// of the offending rule, so one bad rule in a thousand-line policy file is
+// locatable without bisecting the document.
 
 // ParseRule parses a single {[action][level]["target"]} rule.
 func ParseRule(raw string) (Rule, error) {
@@ -40,10 +52,7 @@ func ParseRule(raw string) (Rule, error) {
 	if err != nil {
 		return Rule{}, err
 	}
-	target := strings.TrimSpace(fields[2])
-	if strings.HasPrefix(target, `"`) && strings.HasSuffix(target, `"`) && len(target) >= 2 {
-		target = target[1 : len(target)-1]
-	}
+	target := unquoteTarget(strings.TrimSpace(fields[2]))
 	rule := Rule{Action: action, Level: level, Target: target}
 	if err := rule.Validate(); err != nil {
 		return Rule{}, err
@@ -51,20 +60,43 @@ func ParseRule(raw string) (Rule, error) {
 	return rule, nil
 }
 
+// unquoteTarget strips the grammar's quoting from a target field. Quoted
+// targets are Go string literals (the inverse of FormatPolicy's %q); fields
+// that merely look quoted but are not a valid literal fall back to stripping
+// the outer quotes, which is what the pre-Unquote parser always did.
+func unquoteTarget(target string) string {
+	if len(target) < 2 || !strings.HasPrefix(target, `"`) || !strings.HasSuffix(target, `"`) {
+		return target
+	}
+	if unq, err := strconv.Unquote(target); err == nil {
+		return unq
+	}
+	return target[1 : len(target)-1]
+}
+
 // bracketFields splits "[a][b][c]" into its bracketed fields, tolerating
-// whitespace between brackets.
+// whitespace between brackets. Brackets inside quoted strings do not nest
+// or terminate fields, and backslash escapes inside quotes are honoured so
+// an escaped quote (\") does not flip the quote state.
 func bracketFields(s string) ([]string, error) {
 	var fields []string
 	rest := strings.TrimSpace(s)
 	for rest != "" {
 		if rest[0] != '[' {
-			return nil, fmt.Errorf("%w: expected '[' at %q", ErrBadRule, rest)
+			return nil, fmt.Errorf("%w: expected '[' before field %d at %q", ErrBadRule, len(fields)+1, rest)
 		}
 		depth := 0
 		end := -1
 		inQuote := false
+		escaped := false
 		for i := 0; i < len(rest); i++ {
+			if escaped {
+				escaped = false
+				continue
+			}
 			switch rest[i] {
+			case '\\':
+				escaped = inQuote
 			case '"':
 				inQuote = !inQuote
 			case '[':
@@ -84,7 +116,7 @@ func bracketFields(s string) ([]string, error) {
 			}
 		}
 		if end < 0 {
-			return nil, fmt.Errorf("%w: unterminated '[' in %q", ErrBadRule, s)
+			return nil, fmt.Errorf("%w: unterminated '[' in field %d of %q", ErrBadRule, len(fields)+1, s)
 		}
 		fields = append(fields, rest[1:end])
 		rest = strings.TrimSpace(rest[end+1:])
@@ -94,40 +126,67 @@ func bracketFields(s string) ([]string, error) {
 
 // ParsePolicy reads a full policy document: one or more rules, //-comments,
 // and blank lines. A rule may span multiple physical lines; rules are
-// accumulated until braces balance.
+// accumulated until braces balance outside quoted strings. A // comment is
+// recognized only outside quotes and outside a rule body, so targets
+// containing slashes (or even "//") never truncate a rule.
 func ParsePolicy(r io.Reader) ([]Rule, error) {
 	var rules []Rule
 	var pending strings.Builder
 	depth := 0
+	inQuote := false
+	startLine := 0 // first line of the pending rule
 	lineNo := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
-		if idx := strings.Index(line, "//"); idx >= 0 && depth == 0 {
-			line = line[:idx]
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		pending.WriteString(line)
-		for _, c := range line {
-			switch c {
+		// One pass over the line: track quote state (with \-escapes) and
+		// brace depth, and cut a // comment when one appears outside quotes
+		// at depth 0 (before a rule or after one — never inside).
+		cut := len(line)
+		escaped := false
+	scan:
+		for i := 0; i < len(line); i++ {
+			if escaped {
+				escaped = false
+				continue
+			}
+			switch line[i] {
+			case '\\':
+				escaped = inQuote
+			case '"':
+				inQuote = !inQuote
+			case '/':
+				if !inQuote && depth == 0 && i+1 < len(line) && line[i+1] == '/' {
+					cut = i
+					break scan
+				}
 			case '{':
-				depth++
+				if !inQuote {
+					depth++
+				}
 			case '}':
-				depth--
+				if !inQuote {
+					depth--
+					if depth < 0 {
+						return nil, fmt.Errorf("%w: line %d: unbalanced '}'", ErrBadRule, lineNo)
+					}
+				}
 			}
 		}
-		if depth < 0 {
-			return nil, fmt.Errorf("%w: line %d: unbalanced '}'", ErrBadRule, lineNo)
+		frag := strings.TrimSpace(line[:cut])
+		if frag == "" {
+			continue
 		}
-		if depth == 0 {
+		if pending.Len() == 0 {
+			startLine = lineNo
+		}
+		pending.WriteString(frag)
+		if depth == 0 && !inQuote {
 			rule, err := ParseRule(pending.String())
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("%s: %w", lineRef(startLine, lineNo), err)
 			}
 			rules = append(rules, rule)
 			pending.Reset()
@@ -136,10 +195,21 @@ func ParsePolicy(r io.Reader) ([]Rule, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("policy: read: %w", err)
 	}
-	if depth != 0 {
-		return nil, fmt.Errorf("%w: unterminated rule at EOF", ErrBadRule)
+	if pending.Len() > 0 {
+		if inQuote {
+			return nil, fmt.Errorf("%w: %s: unterminated quote at EOF", ErrBadRule, lineRef(startLine, lineNo))
+		}
+		return nil, fmt.Errorf("%w: %s: unterminated rule at EOF", ErrBadRule, lineRef(startLine, lineNo))
 	}
 	return rules, nil
+}
+
+// lineRef renders "line 7" or, for a rule spanning lines, "lines 7-9".
+func lineRef(start, end int) string {
+	if start == end {
+		return fmt.Sprintf("line %d", start)
+	}
+	return fmt.Sprintf("lines %d-%d", start, end)
 }
 
 // ParsePolicyString is ParsePolicy over an in-memory document.

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"borderpatrol/internal/dex"
+)
+
+// This file holds the grammar property tests: for randomly generated valid
+// rule sets, FormatPolicy∘ParsePolicyString is the identity, and an engine
+// compiled from the reparsed rules agrees with the naive reference matcher
+// on random packet contexts. It reuses the randomized generators from
+// compile_test.go (rule/stack pools) and extends them with hostile target
+// shapes the serializer must escape correctly.
+
+// hostileLibTargets are library/class target strings that stress the
+// quoting and scanning layers: quotes, backslashes, braces, brackets,
+// comment markers, whitespace, and non-ASCII. Library and class targets
+// only need to be non-empty, so all of these are valid rules.
+var hostileLibTargets = []string{
+	`a"b`, `a\b`, `a\"b`, "a}b{c", "a[b]c", "a//b", "a b",
+	"\tcom/x\t", `com/"quoted"/lib`, "com/ünïcode/путь", `\`, `"`, "{", "}",
+	"com/flurry", "com/trailing/",
+}
+
+// randRuleHostile is randRule with a slice of hostile targets mixed into
+// the library- and class-level draws.
+func randRuleHostile(rng *rand.Rand) Rule {
+	r := randRule(rng)
+	if (r.Level == LevelLibrary || r.Level == LevelClass) && rng.Intn(3) == 0 {
+		r.Target = hostileLibTargets[rng.Intn(len(hostileLibTargets))]
+	}
+	return r
+}
+
+// TestFormatParseIdentityProperty: parsing a formatted rule set yields the
+// identical rules, and formatting again is a fixpoint — for rule sets
+// drawn from the extended (hostile-target) generator.
+func TestFormatParseIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 500; trial++ {
+		nRules := rng.Intn(30)
+		rules := make([]Rule, nRules)
+		for i := range rules {
+			rules[i] = randRuleHostile(rng)
+			if err := rules[i].Validate(); err != nil {
+				t.Fatalf("trial %d: generated invalid rule %+v: %v", trial, rules[i], err)
+			}
+		}
+		doc := FormatPolicy(rules)
+		again, err := ParsePolicyString(doc)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\ndoc: %q", trial, err, doc)
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("trial %d: %d rules -> %d\ndoc: %q", trial, len(rules), len(again), doc)
+		}
+		for i := range rules {
+			if rules[i] != again[i] {
+				t.Fatalf("trial %d rule %d: %+v -> %+v\ndoc: %q", trial, i, rules[i], again[i], doc)
+			}
+		}
+		if doc2 := FormatPolicy(again); doc2 != doc {
+			t.Fatalf("trial %d: FormatPolicy not a fixpoint:\n%q\n%q", trial, doc, doc2)
+		}
+	}
+}
+
+// TestParsedCompiledMatchesReference closes the loop the policy store
+// relies on: a rule set that survives a format→parse cycle compiles into
+// an engine whose verdicts agree with the naive reference matcher over the
+// original (pre-serialization) rules. This extends
+// TestCompiledMatchesReference across the grammar layer — a serializer or
+// parser bug that altered any rule would surface as a verdict divergence.
+func TestParsedCompiledMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7331))
+	for trial := 0; trial < 150; trial++ {
+		nRules := rng.Intn(25)
+		rules := make([]Rule, nRules)
+		for i := range rules {
+			rules[i] = randRule(rng)
+		}
+		parsed, err := ParsePolicyString(FormatPolicy(rules))
+		if err != nil {
+			t.Fatalf("trial %d: round trip failed: %v", trial, err)
+		}
+		def := VerdictAllow
+		if trial%2 == 1 {
+			def = VerdictDrop
+		}
+		eng, err := NewEngine(parsed, def)
+		if err != nil {
+			t.Fatalf("trial %d: NewEngine over reparsed rules: %v", trial, err)
+		}
+		for probe := 0; probe < 40; probe++ {
+			appHash := randHash(rng)
+			stack := randStack(rng)
+			wantIdx, want := referenceEvaluate(rules, def, appHash, stack)
+			got := eng.Evaluate(appHash, stack)
+			if got.Verdict != want.Verdict || got.Reason != want.Reason {
+				t.Fatalf("trial %d probe %d: decision %+v, want %+v (decisive %d)\nrules: %v",
+					trial, probe, got, want, wantIdx, rules)
+			}
+		}
+	}
+}
+
+// TestHostileTargetsSurviveEnforcement: a hostile-target rule set must not
+// only round-trip, it must keep matching correctly — e.g. a rule whose
+// target contains a quote still denies a stack whose package contains that
+// quote verbatim.
+func TestHostileTargetsSurviveEnforcement(t *testing.T) {
+	for _, target := range hostileLibTargets {
+		rules, err := ParsePolicyString(FormatPolicy([]Rule{
+			{Action: Deny, Level: LevelLibrary, Target: target},
+		}))
+		if err != nil {
+			t.Fatalf("target %q: %v", target, err)
+		}
+		eng, err := NewEngine(rules, VerdictAllow)
+		if err != nil {
+			t.Fatalf("target %q: %v", target, err)
+		}
+		stack := []dex.Signature{{Package: target, Class: "A", Name: "m", Proto: "()V"}}
+		if d := eng.Evaluate(dex.TruncatedHash{}, stack); d.Verdict != VerdictDrop {
+			t.Errorf("target %q: matching stack admitted after round trip: %+v", target, d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -128,6 +129,132 @@ func TestParsePolicyIgnoresCommentsAndBlank(t *testing.T) {
 	}
 	if len(rules) != 1 || rules[0].Target != "com/ads" {
 		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+// TestParsePolicyErrorLineNumbers pins the locatability guarantee: a bad
+// rule deep inside a large policy document must be reported with its line
+// number (or line range for multi-line rules), not just the rule text.
+func TestParsePolicyErrorLineNumbers(t *testing.T) {
+	good := `{[deny][library]["com/ok"]}`
+	mk := func(lines ...string) string { return strings.Join(lines, "\n") }
+
+	cases := []struct {
+		name, doc, wantLoc string
+	}{
+		{
+			name:    "unterminated bracket",
+			doc:     mk(good, good, `{[deny][library "com/broken"]}`, good),
+			wantLoc: "line 3",
+		},
+		{
+			name:    "nested braces",
+			doc:     mk(good, `{{[deny][library]["com/x"]}}`, good),
+			wantLoc: "line 2",
+		},
+		{
+			name:    "bad action",
+			doc:     mk(good, good, good, `{[maybe][library]["com/x"]}`),
+			wantLoc: "line 4",
+		},
+		{
+			name:    "multi-line rule reports its range",
+			doc:     mk(good, `{[deny][nope]`, `["com/x"]}`, good),
+			wantLoc: "lines 2-3",
+		},
+		{
+			name:    "unterminated rule at EOF reports start line",
+			doc:     mk(good, good, `{[deny][library]["com/x"]`),
+			wantLoc: "line 3",
+		},
+		{
+			name:    "unterminated quote at EOF",
+			doc:     mk(good, `{[deny][library]["com/x`),
+			wantLoc: "line 2",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParsePolicyString(tc.doc)
+		if err == nil {
+			t.Errorf("%s: document accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLoc) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantLoc)
+		}
+	}
+}
+
+// TestParsePolicyBigFileBadRuleLocatable is the satellite scenario end to
+// end: one malformed rule buried in a 1,050-rule document is reported at
+// its exact line.
+func TestParsePolicyBigFileBadRuleLocatable(t *testing.T) {
+	var b strings.Builder
+	badLine := 0
+	for i := 0; i < 1050; i++ {
+		if i == 717 {
+			badLine = i + 1
+			b.WriteString("{[deny][library \"com/bad\"]}\n") // unterminated '[' field
+			continue
+		}
+		fmt.Fprintf(&b, "{[deny][library][\"com/lib%04d\"]}\n", i)
+	}
+	_, err := ParsePolicyString(b.String())
+	if err == nil {
+		t.Fatal("malformed document accepted")
+	}
+	want := fmt.Sprintf("line %d", badLine)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not locate the bad rule at %q", err, want)
+	}
+}
+
+// TestParseRuleQuotedTargets covers the Go-quoted target forms FormatPolicy
+// emits: escaped quotes, backslashes, and brackets/braces inside quotes.
+func TestParseRuleQuotedTargets(t *testing.T) {
+	cases := []struct {
+		raw, want string
+	}{
+		{`{[deny][library]["com/flurry"]}`, "com/flurry"},
+		{`{[deny][library]["a\"b"]}`, `a"b`},
+		{`{[deny][library]["a\\b"]}`, `a\b`},
+		{`{[deny][library]["a[b]c"]}`, "a[b]c"},
+		{`{[deny][library]["a{b}c"]}`, "a{b}c"},
+		{`{[deny][library]["a//b"]}`, "a//b"},
+		{`{[deny][library][bare/target]}`, "bare/target"},
+	}
+	for _, tc := range cases {
+		r, err := ParseRule(tc.raw)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", tc.raw, err)
+			continue
+		}
+		if r.Target != tc.want {
+			t.Errorf("ParseRule(%q).Target = %q, want %q", tc.raw, r.Target, tc.want)
+		}
+	}
+}
+
+// TestParsePolicyQuoteAwareScanning: braces and comment markers inside
+// quoted targets must not terminate rules or truncate lines.
+func TestParsePolicyQuoteAwareScanning(t *testing.T) {
+	doc := `
+{[deny][library]["a//b"]}   // real comment after the rule
+{[deny][library]["a}b{c"]}
+{[deny][class]["com/x" ]}
+`
+	rules, err := ParsePolicyString(doc)
+	if err != nil {
+		t.Fatalf("ParsePolicyString: %v", err)
+	}
+	want := []string{"a//b", "a}b{c", "com/x"}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d: %+v", len(rules), len(want), rules)
+	}
+	for i, w := range want {
+		if rules[i].Target != w {
+			t.Errorf("rule %d target = %q, want %q", i, rules[i].Target, w)
+		}
 	}
 }
 

@@ -1,0 +1,87 @@
+package policystore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/policy"
+)
+
+// policy1050 renders the paper's §VI-B1-scale policy: 1,050 deny rules.
+func policy1050() string {
+	var b strings.Builder
+	for i := 0; i < 1050; i++ {
+		fmt.Fprintf(&b, "{[deny][library][\"com/blocked/lib%04d\"]}\n", i)
+	}
+	return b.String()
+}
+
+// BenchmarkReloadUnchangedFile measures the steady-state poll cost over an
+// untouched policy file: one Stat, no read, no hash, no parse.
+func BenchmarkReloadUnchangedFile(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "policy.bp")
+	if err := os.WriteFile(path, []byte(policy1050()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	// Age the file past the racily-clean window so the stat memo engages
+	// (a freshly written file is deliberately re-hashed for a while).
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := policy.NewEngine(nil, policy.VerdictAllow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := New(Config{Source: NewFileSource(path), Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Load(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if applied, err := st.Reload(); err != nil || applied {
+			b.Fatalf("applied=%v err=%v", applied, err)
+		}
+	}
+}
+
+// BenchmarkReloadApply1050 measures a full swap at the paper's validation
+// scale: read, hash, parse, compile, and atomically publish 1,050 rules.
+// This is the whole off-hot-path cost a central reconfiguration pays.
+func BenchmarkReloadApply1050(b *testing.B) {
+	dir := b.TempDir()
+	doc := policy1050()
+	// Two files with distinct content so every Reload applies.
+	paths := [2]string{filepath.Join(dir, "a.bp"), filepath.Join(dir, "b.bp")}
+	if err := os.WriteFile(paths[0], []byte(doc), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], []byte(doc+"{[deny][library][\"com/extra\"]}\n"), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := policy.NewEngine(nil, policy.VerdictAllow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := &FileSource{}
+	st, err := New(Config{Source: src, Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.path = paths[i%2]
+		if applied, err := st.Reload(); err != nil || !applied {
+			b.Fatalf("applied=%v err=%v", applied, err)
+		}
+	}
+}

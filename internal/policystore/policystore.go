@@ -1,0 +1,291 @@
+// Package policystore feeds BorderPatrol's compiled policy engine from
+// pluggable backends, realizing the paper's central-reconfiguration design
+// goal (§IV): administrators update policies at the gateway — a file an
+// operator edits, an HTTP endpoint a fleet controller serves, or a static
+// inline document — and the running deployment picks the change up without
+// restarting or stalling traffic.
+//
+// A Source produces candidate policy documents with a version token; the
+// Store polls its Source, parses and compiles each changed candidate off
+// the enforcement hot path, and publishes it with policy.Engine.SetRules —
+// an atomic pointer swap whose generation bump self-invalidates every
+// cached flow verdict (see internal/flowtable). Packets therefore never
+// observe a torn rule set: each evaluation sees exactly one compiled
+// snapshot, either wholly-old or wholly-new.
+//
+// # Last-good semantics
+//
+// A candidate that fails to fetch, parse, or compile is rejected in its
+// entirety: the engine keeps serving the last successfully applied rule
+// set, the failure is counted, and the error is exposed through Stats.
+// A broken push can therefore never take enforcement down — the paper's
+// fail-safe posture for the enforcement point.
+package policystore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"borderpatrol/internal/policy"
+)
+
+// Candidate is one policy document fetched from a backend.
+type Candidate struct {
+	// Doc is the policy document text (the paper's §IV-B grammar).
+	Doc string
+	// Version identifies the revision: a content hash for file and static
+	// backends, the ETag for HTTP. The Store only applies a candidate whose
+	// Version differs from the active one, and only advances the active
+	// version after a successful apply.
+	Version string
+}
+
+// Source supplies candidate policy documents to a Store. Implementations
+// may keep per-backend state for conditional fetches (stat memos, ETags);
+// a Source instance belongs to exactly one Store, which serializes Fetch
+// calls — implementations need not be safe for concurrent use.
+type Source interface {
+	// Fetch returns the current candidate. prev is the Version of the last
+	// successfully applied candidate ("" before the first apply); backends
+	// use it for conditional fetches and report unchanged=true (with a zero
+	// Candidate) when the document cannot have changed.
+	Fetch(prev string) (c Candidate, unchanged bool, err error)
+	// String describes the backend for logs and stats ("static",
+	// "file:/etc/bp/policy.bp", an URL).
+	String() string
+}
+
+// contentVersion derives a version token from document bytes.
+func contentVersion(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:8])
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Source supplies candidate documents. Required.
+	Source Source
+	// Engine receives each compiled rule set via SetRules. Required.
+	Engine *policy.Engine
+	// Poll is the background reload interval; <= 0 disables the poller
+	// (Reload can still be called manually).
+	Poll time.Duration
+	// MaxBackoff caps the poller's exponential error backoff (default 1m,
+	// never below Poll).
+	MaxBackoff time.Duration
+	// OnApply, when set, observes every applied rule set (logging hook).
+	// Called from the reloading goroutine; must not call back into the
+	// Store.
+	OnApply func(version string, rules []policy.Rule)
+}
+
+// Stats snapshots a Store's counters.
+type Stats struct {
+	// Polls counts reload cycles, manual and background.
+	Polls uint64
+	// Applied counts successfully applied rule sets, including the initial
+	// Load. Each applied set bumps the engine generation exactly once.
+	Applied uint64
+	// Unchanged counts cycles where the backend reported no change.
+	Unchanged uint64
+	// Failures counts cycles rejected by a fetch, parse, or compile error;
+	// each one left the last-good rules serving.
+	Failures uint64
+	// Version is the active (last-good) policy revision ("" before the
+	// first successful load).
+	Version string
+	// Rules is the active rule count.
+	Rules int
+	// LastError describes the most recent failure ("" after a clean cycle).
+	LastError string
+	// Source describes the backend.
+	Source string
+}
+
+// Store keeps a policy engine hot from a Source: validation and
+// compilation happen on the store's goroutine (or the Reload caller's),
+// never on the enforcement path, and the swap itself is the engine's
+// atomic pointer exchange.
+type Store struct {
+	cfg Config
+
+	// reloadMu serializes reload cycles (manual Reload vs the poller), so
+	// two concurrent fetches can never apply out of order.
+	reloadMu sync.Mutex
+
+	mu        sync.Mutex // guards version, ruleCount, lastErr
+	version   string
+	ruleCount int
+	lastErr   string
+
+	polls     atomic.Uint64
+	applied   atomic.Uint64
+	unchanged atomic.Uint64
+	failures  atomic.Uint64
+
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+	startOne,
+	stopOne sync.Once
+}
+
+// New builds a Store. No fetch happens yet: call Load for a synchronous
+// initial load (recommended — a deployment should fail fast on a broken
+// initial policy), then Start for background hot reload.
+func New(cfg Config) (*Store, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("policystore: Config.Source is required")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("policystore: Config.Engine is required")
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Minute
+	}
+	if cfg.MaxBackoff < cfg.Poll {
+		cfg.MaxBackoff = cfg.Poll
+	}
+	return &Store{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Load performs the initial synchronous fetch+compile+swap. Unlike later
+// cycles there is no last-good rule set to fall back to, so the caller
+// decides whether a failure is fatal (deployments treat it so).
+func (s *Store) Load() error {
+	_, err := s.Reload()
+	return err
+}
+
+// Reload runs one reload cycle: fetch, and — if the document changed —
+// parse, compile, and atomically swap. Returns whether a new rule set was
+// applied. On error the last-good rules keep serving and the failure is
+// counted. Safe to call concurrently with the poller and with traffic.
+func (s *Store) Reload() (applied bool, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	s.polls.Add(1)
+	s.mu.Lock()
+	prev := s.version
+	s.mu.Unlock()
+
+	c, unchanged, err := s.cfg.Source.Fetch(prev)
+	if err != nil {
+		s.fail(err)
+		return false, err
+	}
+	if unchanged {
+		s.unchanged.Add(1)
+		return false, nil
+	}
+	rules, err := policy.ParsePolicyString(c.Doc)
+	if err != nil {
+		err = fmt.Errorf("policystore: %s: candidate %s rejected: %w", s.cfg.Source, c.Version, err)
+		s.fail(err)
+		return false, err
+	}
+	// SetRules compiles the candidate before publishing anything, so a
+	// compile failure also leaves the last-good compiled set serving.
+	if err := s.cfg.Engine.SetRules(rules); err != nil {
+		err = fmt.Errorf("policystore: %s: candidate %s rejected: %w", s.cfg.Source, c.Version, err)
+		s.fail(err)
+		return false, err
+	}
+	s.mu.Lock()
+	s.version = c.Version
+	s.ruleCount = len(rules)
+	s.lastErr = ""
+	s.mu.Unlock()
+	s.applied.Add(1)
+	if s.cfg.OnApply != nil {
+		s.cfg.OnApply(c.Version, rules)
+	}
+	return true, nil
+}
+
+// fail records a rejected cycle.
+func (s *Store) fail(err error) {
+	s.failures.Add(1)
+	s.mu.Lock()
+	s.lastErr = err.Error()
+	s.mu.Unlock()
+}
+
+// Start launches the background poller (a no-op when Config.Poll <= 0).
+// Errors back off exponentially up to MaxBackoff and reset on the next
+// clean cycle.
+func (s *Store) Start() {
+	if s.cfg.Poll <= 0 {
+		return
+	}
+	s.startOne.Do(func() {
+		s.started.Store(true)
+		go s.pollLoop()
+	})
+}
+
+func (s *Store) pollLoop() {
+	defer close(s.done)
+	interval := s.cfg.Poll
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+		}
+		if _, err := s.Reload(); err != nil {
+			interval = min(interval*2, s.cfg.MaxBackoff)
+		} else {
+			interval = s.cfg.Poll
+		}
+		timer.Reset(interval)
+	}
+}
+
+// Close stops the poller and waits for it to exit. Idempotent; the engine
+// keeps serving the last applied rules.
+func (s *Store) Close() {
+	s.stopOne.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// Version returns the active policy revision ("" before the first load).
+func (s *Store) Version() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	version, ruleCount, lastErr := s.version, s.ruleCount, s.lastErr
+	s.mu.Unlock()
+	return Stats{
+		Polls:     s.polls.Load(),
+		Applied:   s.applied.Load(),
+		Unchanged: s.unchanged.Load(),
+		Failures:  s.failures.Load(),
+		Version:   version,
+		Rules:     ruleCount,
+		LastError: lastErr,
+		Source:    s.cfg.Source.String(),
+	}
+}
