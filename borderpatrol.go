@@ -307,6 +307,10 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 			Capacity: cfg.FlowCacheSize, // 0 = flowtable default
 			TTL:      ttl,
 			Clock:    network.Clock,
+			// Negative-cache admission guard: unique-flow floods (SYN
+			// floods of crafted tags) are turned away at a per-shard
+			// recent-miss ring instead of evicting live flows.
+			MissRing: 64,
 		})
 	}
 	enf := enforcer.New(enfCfg, db, engine)
@@ -494,8 +498,20 @@ type DeploymentStats struct {
 	FlowCacheMisses uint64
 	// FlowCacheEvictions counts flows evicted under capacity pressure.
 	FlowCacheEvictions uint64
+	// FlowNegCacheDrops counts inserts turned away by the flow table's
+	// negative-cache admission guard — the unique-flow-flood (SYN flood)
+	// signature: first-seen flows hitting a full shard are noted in a
+	// per-shard recent-miss ring instead of evicting a live flow.
+	FlowNegCacheDrops uint64
 	// FlowsLive is the number of flows currently cached.
 	FlowsLive int
+	// ConnsEstablished counts TCP connections the gateway's conntrack saw
+	// open (SYN accepted); ConnsClosed counts FIN/RST teardowns — each of
+	// which deleted the flow's cached verdict immediately. ConnsOpen is
+	// the current tracked count.
+	ConnsEstablished uint64
+	ConnsClosed      uint64
+	ConnsOpen        int
 	// AuditRecorded counts decisions accepted by the async audit pipeline.
 	AuditRecorded uint64
 	// AuditDropped counts decisions shed under audit backpressure (bounded
@@ -528,6 +544,7 @@ func (d *Deployment) Stats() DeploymentStats {
 	pe := d.engine.Stats()
 	au := d.audit.Stats()
 	ps := d.policy.Stats()
+	ct := d.network.Gateway.Conntrack()
 	return DeploymentStats{
 		SocketsTagged:        cm.SocketsTagged,
 		TagFailures:          cm.TagFailures,
@@ -540,7 +557,11 @@ func (d *Deployment) Stats() DeploymentStats {
 		FlowCacheHits:        ef.Flow.Hits + ef.BatchMemoHits,
 		FlowCacheMisses:      ef.Flow.Misses,
 		FlowCacheEvictions:   ef.Flow.Evictions,
+		FlowNegCacheDrops:    ef.Flow.AdmissionDrops,
 		FlowsLive:            ef.Flow.Live,
+		ConnsEstablished:     ct.Established,
+		ConnsClosed:          ct.Closed,
+		ConnsOpen:            ct.Open,
 		AuditRecorded:        au.Recorded,
 		AuditDropped:         au.Dropped,
 		AuditPending:         au.Pending,
@@ -574,6 +595,9 @@ var (
 	// swaps under saturating traffic, proving packets never observe a torn
 	// rule set and malformed candidates keep the last-good rules serving.
 	RunReloadUnderLoad = experiments.RunReloadUnderLoad
+	// RunDNSResolution pushes tagged DNS-over-UDP queries through the
+	// gateway end to end — the transport layer's first non-HTTP workload.
+	RunDNSResolution = experiments.RunDNSResolution
 )
 
 // Experiment configuration re-exports.
@@ -588,6 +612,8 @@ type (
 	ReloadConfig = experiments.ReloadConfig
 	// ReloadResult reports the reload-under-load experiment.
 	ReloadResult = experiments.ReloadResult
+	// DNSResolutionResult reports the DNS-over-UDP workload.
+	DNSResolutionResult = experiments.DNSResolutionResult
 )
 
 // Default experiment configurations.

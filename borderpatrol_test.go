@@ -72,31 +72,40 @@ func TestDeploymentEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Download flows.
+	// Download flows: one TCP connection, three packets (SYN, request,
+	// FIN), every one delivered and attributed to the download context.
 	out, err := dep.Exercise(app, "download")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 1 || !out[0].Delivered {
-		t.Fatalf("download outcome = %+v", out)
+	if len(out) != 3 {
+		t.Fatalf("download emitted %d outcomes, want 3 (SYN + request + FIN)", len(out))
 	}
-	if len(out[0].Stack) == 0 || out[0].Stack[0].Name != "download" {
-		t.Fatalf("decoded stack = %v", out[0].Stack)
+	for i, o := range out {
+		if !o.Delivered {
+			t.Fatalf("download packet %d not delivered: %+v", i, o)
+		}
+		if len(o.Stack) == 0 || o.Stack[0].Name != "download" {
+			t.Fatalf("decoded stack %d = %v", i, o.Stack)
+		}
 	}
 
-	// Upload dropped by the method rule — same endpoint, same app.
+	// Upload dropped by the method rule — same endpoint, same app. The
+	// whole connection dies: the SYN already carries the upload context.
 	out, err = dep.Exercise(app, "upload")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out[0].Delivered {
-		t.Fatal("upload not blocked")
-	}
-	if out[0].DropStage != "gateway" {
-		t.Fatalf("drop stage = %s", out[0].DropStage)
-	}
-	if !strings.Contains(out[0].Reason, "deny rule") {
-		t.Fatalf("reason = %q", out[0].Reason)
+	for i, o := range out {
+		if o.Delivered {
+			t.Fatalf("upload packet %d not blocked", i)
+		}
+		if o.DropStage != "gateway" {
+			t.Fatalf("packet %d drop stage = %s", i, o.DropStage)
+		}
+		if !strings.Contains(o.Reason, "deny rule") {
+			t.Fatalf("packet %d reason = %q", i, o.Reason)
+		}
 	}
 
 	// Analytics dropped by the library rule.
@@ -109,11 +118,15 @@ func TestDeploymentEndToEnd(t *testing.T) {
 	}
 
 	st := dep.Stats()
-	if st.SocketsTagged != 3 || st.PacketsDropped != 2 || st.PacketsAccepted != 1 {
+	if st.SocketsTagged != 3 || st.PacketsDropped != 6 || st.PacketsAccepted != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if st.PacketsCleansed != 1 {
-		t.Fatalf("sanitizer cleansed %d packets, want 1 (the delivered one)", st.PacketsCleansed)
+	if st.PacketsCleansed != 3 {
+		t.Fatalf("sanitizer cleansed %d packets, want 3 (the delivered connection)", st.PacketsCleansed)
+	}
+	// The download connection's FIN tore its flow down via conntrack.
+	if st.ConnsEstablished != 1 || st.ConnsClosed != 1 {
+		t.Fatalf("conntrack stats = est %d closed %d, want 1/1", st.ConnsEstablished, st.ConnsClosed)
 	}
 }
 

@@ -29,7 +29,7 @@ func main() {
 }
 
 func run() error {
-	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|all")
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
 	seed := flag.Int64("seed", 2019, "corpus seed")
 	flag.Parse()
@@ -157,6 +157,15 @@ func run() error {
 	if all || want["whitelist"] {
 		section("E11 — Whitelisting posture & repackaged apps (§VII)")
 		res, err := experiments.RunWhitelist()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+	}
+
+	if all || want["dns"] {
+		section("E12 — DNS over UDP through the gateway (transport layer)")
+		res, err := experiments.RunDNSResolution()
 		if err != nil {
 			return err
 		}

@@ -158,8 +158,11 @@ func run() error {
 		}
 	}
 	fl := st.Flow
-	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d live flows\n",
-		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.Live)
+	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d neg-cache drops, %d live flows\n",
+		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.AdmissionDrops, fl.Live)
+	ct := tb.Network.Gateway.Conntrack()
+	fmt.Printf("conntrack: %d connections established, %d closed (flow verdicts torn down), %d open\n",
+		ct.Established, ct.Closed, ct.Open)
 	if tb.Policy != nil {
 		ps := tb.Policy.Stats()
 		fmt.Printf("policy store: %d applied, %d unchanged, %d rejected (last-good kept), revision %s, %d rules\n",

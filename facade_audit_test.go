@@ -31,12 +31,14 @@ func TestAuditPipelineEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Every packet of every connection is audited: 3 download connections
+	// × (SYN + request + FIN) + 1 analytics connection × 3 = 12.
 	tail := dep.AuditTail() // flushes the pipeline
-	if len(tail) != 4 {
-		t.Fatalf("audit tail has %d entries, want 4", len(tail))
+	if len(tail) != 12 {
+		t.Fatalf("audit tail has %d entries, want 12", len(tail))
 	}
 	st := dep.Stats()
-	if st.AuditRecorded != 4 || st.AuditDropped != 0 {
+	if st.AuditRecorded != 12 || st.AuditDropped != 0 {
 		t.Fatalf("audit stats = recorded %d dropped %d", st.AuditRecorded, st.AuditDropped)
 	}
 	if st.AuditPending != 0 {
@@ -47,17 +49,21 @@ func TestAuditPipelineEndToEnd(t *testing.T) {
 		t.Fatalf("analytics entry = %+v", drop)
 	}
 
-	// Single-request connections announce "Connection: close", so the
-	// gateway tears delivered flows down. The analytics flow was dropped —
-	// no connection ever completed — so its drop verdict deliberately
-	// stays cached, keeping repeat offenders cheap to block.
+	// Each download connection's FIN tore its flow down via conntrack.
+	// The analytics flow was dropped — its FIN died with the rest of the
+	// connection — so its drop verdict deliberately stays cached, keeping
+	// repeat offenders cheap to block.
 	if st.FlowsLive != 1 {
 		t.Fatalf("flows live = %d, want 1 (only the dropped analytics flow)", st.FlowsLive)
 	}
-	// Each download connection re-resolved (no cross-connection hits), and
-	// the analytics flow was evaluated on its own — 4 misses total.
-	if st.FlowCacheMisses != 4 || st.FlowCacheHits != 0 {
-		t.Fatalf("flow stats = hits %d misses %d", st.FlowCacheHits, st.FlowCacheMisses)
+	if st.ConnsEstablished != 3 || st.ConnsClosed != 3 {
+		t.Fatalf("conntrack = est %d closed %d, want 3/3", st.ConnsEstablished, st.ConnsClosed)
+	}
+	// Per download connection: the SYN misses, request + FIN hit; ports
+	// separate the connections so none shares an entry. Analytics: SYN
+	// misses, request + FIN hit the cached drop. 4 misses, 8 hits.
+	if st.FlowCacheMisses != 4 || st.FlowCacheHits != 8 {
+		t.Fatalf("flow stats = hits %d misses %d, want 8/4", st.FlowCacheHits, st.FlowCacheMisses)
 	}
 
 	if err := dep.Close(); err != nil {
@@ -70,8 +76,9 @@ func TestAuditPipelineEndToEnd(t *testing.T) {
 }
 
 // TestKeepAliveFlowsStayCachedEndToEnd: a multi-request functionality
-// rides one keep-alive connection, so later packets hit the flow cache and
-// the flow survives until TTL — the teardown must not fire for it.
+// rides one TCP connection — the SYN pays the pipeline once, the whole
+// keep-alive train hits the cache, and the FIN (not any application-layer
+// header) tears the flow down at the end of the connection.
 func TestKeepAliveFlowsStayCachedEndToEnd(t *testing.T) {
 	dep, err := NewDeployment(DeploymentConfig{})
 	if err != nil {
@@ -88,17 +95,20 @@ func TestKeepAliveFlowsStayCachedEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 5 {
-		t.Fatalf("outcomes = %d, want 5", len(out))
+	if len(out) != 7 {
+		t.Fatalf("outcomes = %d, want 7 (SYN + 5 requests + FIN)", len(out))
 	}
 	st := dep.Stats()
-	if st.FlowCacheMisses != 1 || st.FlowCacheHits != 4 {
-		t.Fatalf("flow stats = hits %d misses %d, want 4/1", st.FlowCacheHits, st.FlowCacheMisses)
+	if st.FlowCacheMisses != 1 || st.FlowCacheHits != 6 {
+		t.Fatalf("flow stats = hits %d misses %d, want 6/1", st.FlowCacheHits, st.FlowCacheMisses)
 	}
-	if st.FlowsLive != 1 {
-		t.Fatalf("flows live = %d, want 1 (keep-alive flow cached)", st.FlowsLive)
+	if st.FlowsLive != 0 {
+		t.Fatalf("flows live = %d, want 0 (FIN tore the connection down)", st.FlowsLive)
 	}
-	if st.AuditRecorded != 5 {
-		t.Fatalf("audit recorded = %d, want 5", st.AuditRecorded)
+	if st.ConnsEstablished != 1 || st.ConnsClosed != 1 {
+		t.Fatalf("conntrack = est %d closed %d, want 1/1", st.ConnsEstablished, st.ConnsClosed)
+	}
+	if st.AuditRecorded != 7 {
+		t.Fatalf("audit recorded = %d, want 7", st.AuditRecorded)
 	}
 }

@@ -20,20 +20,25 @@ func TestExerciseViaRoutes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Off-premises work traffic over VPN is still enforced.
+	// Off-premises work traffic over VPN is still enforced: the whole
+	// analytics connection (SYN, data, FIN) dies at the gateway.
 	out, err := dep.ExerciseVia(app, "analytics", RouteVPN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out[0].Delivered {
-		t.Fatal("vpn-routed analytics escaped enforcement")
+	for i, o := range out {
+		if o.Delivered {
+			t.Fatalf("vpn-routed analytics packet %d escaped enforcement", i)
+		}
 	}
 	out, err = dep.ExerciseVia(app, "download", RouteVPN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out[0].Delivered {
-		t.Fatal("vpn-routed download blocked")
+	for i, o := range out {
+		if !o.Delivered {
+			t.Fatalf("vpn-routed download packet %d blocked", i)
+		}
 	}
 
 	// Mobile-routed tagged traffic dies at the carrier border (options
@@ -49,10 +54,12 @@ func TestExerciseViaRoutes(t *testing.T) {
 		t.Fatalf("drop stage = %s", out[0].DropStage)
 	}
 
-	// The audit log captured the enforced (gateway) decisions.
+	// The audit log captured the enforced (gateway) decisions: two VPN
+	// connections × 3 packets each (the mobile route never reaches the
+	// gateway).
 	tail := dep.AuditTail()
-	if len(tail) != 2 {
-		t.Fatalf("audit tail has %d entries, want 2 (vpn analytics + vpn download)", len(tail))
+	if len(tail) != 6 {
+		t.Fatalf("audit tail has %d entries, want 6 (vpn analytics + vpn download, 3 packets each)", len(tail))
 	}
 	if tail[0].Verdict != "drop" || !strings.Contains(tail[0].Rule, "com/flurry") {
 		t.Fatalf("audit entry = %+v", tail[0])

@@ -114,12 +114,14 @@ func TestInstallAndInvoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Packets) != 1 {
-		t.Fatalf("got %d packets, want 1", len(res.Packets))
+	// One connection: SYN, one HTTP request, FIN.
+	if len(res.Packets) != 3 {
+		t.Fatalf("got %d packets, want 3 (SYN + request + FIN)", len(res.Packets))
 	}
-	pkt := res.Packets[0]
-	if pkt.Header.Dst != endpoint().Addr() {
-		t.Fatal("wrong destination")
+	for i, pkt := range res.Packets {
+		if pkt.Header.Dst != endpoint().Addr() {
+			t.Fatalf("packet %d has wrong destination", i)
+		}
 	}
 	// Without a Context Manager module, packets are untagged.
 	if res.Tagged {
@@ -286,8 +288,9 @@ func TestKeepAliveMultipleRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Packets) != 5 {
-		t.Fatalf("keep-alive sent %d packets, want 5", len(res.Packets))
+	// One TCP connection carries the whole train: SYN + 5 requests + FIN.
+	if len(res.Packets) != 7 {
+		t.Fatalf("keep-alive sent %d packets, want 7 (SYN + 5 + FIN)", len(res.Packets))
 	}
 	if len(res.SocketFDs) != 1 {
 		t.Fatalf("keep-alive used %d sockets, want 1", len(res.SocketFDs))
@@ -340,14 +343,16 @@ func TestNativeSocketBypassesHooks(t *testing.T) {
 	if hookFired {
 		t.Fatal("native socket path must not fire Java-level hooks")
 	}
-	if len(res.Packets) != 1 {
-		t.Fatalf("native op sent %d packets", len(res.Packets))
+	if len(res.Packets) != 3 {
+		t.Fatalf("native op sent %d packets, want 3 (SYN + data + FIN)", len(res.Packets))
 	}
 	if res.Tagged {
 		t.Fatal("native-socket packet must be untagged")
 	}
-	if _, ok := res.Packets[0].Header.FindOption(ipv4.OptSecurity); ok {
-		t.Fatal("native packet carries options")
+	for i, pkt := range res.Packets {
+		if _, ok := pkt.Header.FindOption(ipv4.OptSecurity); ok {
+			t.Fatalf("native packet %d carries options", i)
+		}
 	}
 }
 

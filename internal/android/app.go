@@ -35,6 +35,14 @@ type NetOp struct {
 	// path the Xposed-based Context Manager cannot hook; paper §VII
 	// "Native functions"). These packets leave the device untagged.
 	UseNativeSocket bool
+	// Proto selects the transport protocol: ipv4.ProtoTCP (the zero-value
+	// default) sends HTTP requests over a TCP connection; ipv4.ProtoUDP
+	// sends Datagram payloads (e.g. DNS queries) with no handshake.
+	Proto byte
+	// Datagram is the raw application payload sent per request on UDP
+	// functionality (ignored for TCP, where the HTTP request is built
+	// from Method/Path/Host/PayloadBytes).
+	Datagram []byte
 }
 
 func (op *NetOp) normalize() NetOp {
@@ -50,6 +58,9 @@ func (op *NetOp) normalize() NetOp {
 	}
 	if n.Path == "" {
 		n.Path = "/"
+	}
+	if n.Proto == 0 {
+		n.Proto = ipv4.ProtoTCP
 	}
 	return n
 }
@@ -174,18 +185,31 @@ func (a *App) Invoke(name string) (*InvokeResult, error) {
 
 	perChunk := op.PayloadBytes / op.Chunks
 	for chunk := 0; chunk < op.Chunks; chunk++ {
-		body := make([]byte, perChunk)
-		for i := range body {
-			body[i] = byte('A' + (i+chunk)%26)
+		var payload []byte
+		if op.Proto == ipv4.ProtoUDP {
+			// Datagram functionality sends its raw payload (a DNS query,
+			// typically) — no HTTP framing, no keep-alive semantics.
+			payload = op.Datagram
+			if payload == nil {
+				payload = make([]byte, perChunk)
+				for i := range payload {
+					payload[i] = byte('A' + (i+chunk)%26)
+				}
+			}
+		} else {
+			body := make([]byte, perChunk)
+			for i := range body {
+				body[i] = byte('A' + (i+chunk)%26)
+			}
+			req := &httpsim.Request{
+				Method:    op.Method,
+				Path:      op.Path,
+				Host:      op.Host,
+				KeepAlive: op.Requests > 1,
+				Body:      body,
+			}
+			payload = req.Marshal()
 		}
-		req := &httpsim.Request{
-			Method:    op.Method,
-			Path:      op.Path,
-			Host:      op.Host,
-			KeepAlive: op.Requests > 1,
-			Body:      body,
-		}
-		payload := req.Marshal()
 
 		if op.UseNativeSocket {
 			// Native path: direct syscalls, no Java socket, no hooks.
@@ -200,12 +224,28 @@ func (a *App) Invoke(name string) (*InvokeResult, error) {
 
 		a.thread.PushAll(socketFrames)
 		sock := a.device.stack.NewJavaSocket(a.UID)
+		if op.Proto == ipv4.ProtoUDP {
+			sock = a.device.stack.NewDatagramSocket(a.UID)
+		}
 		err := sock.Connect(op.Endpoint)
 		a.thread.PopN(len(socketFrames))
 		if err != nil {
 			return res, fmt.Errorf("android: %s/%s connect: %w", a.APK.PackageName, name, err)
 		}
 		res.SocketFDs = append(res.SocketFDs, sock.FD())
+		// One TCP connection per socket: the SYN opens it (carrying the
+		// tag the post-connect hook just set), the requests ride it — a
+		// keep-alive train when Requests > 1 — and the FIN closes it,
+		// driving the gateway's conntrack teardown. UDP and legacy
+		// raw-payload kernels emit no lifecycle segments (nil packets).
+		syn, err := sock.Handshake()
+		if err != nil {
+			_ = sock.Close()
+			return res, fmt.Errorf("android: %s/%s handshake: %w", a.APK.PackageName, name, err)
+		}
+		if syn != nil {
+			res.Packets = append(res.Packets, syn)
+		}
 		for r := 0; r < op.Requests; r++ {
 			pkt, err := sock.Send(payload)
 			if err != nil {
@@ -215,6 +255,14 @@ func (a *App) Invoke(name string) (*InvokeResult, error) {
 			if pkt != nil {
 				res.Packets = append(res.Packets, pkt)
 			}
+		}
+		fin, err := sock.Finish()
+		if err != nil {
+			_ = sock.Close()
+			return res, fmt.Errorf("android: %s/%s shutdown: %w", a.APK.PackageName, name, err)
+		}
+		if fin != nil {
+			res.Packets = append(res.Packets, fin)
 		}
 		if err := sock.Close(); err != nil {
 			return res, fmt.Errorf("android: %s/%s close: %w", a.APK.PackageName, name, err)
@@ -227,23 +275,36 @@ func (a *App) Invoke(name string) (*InvokeResult, error) {
 }
 
 // invokeNative models an app component that calls socket(2)/connect(2)
-// through libc, bypassing the hookable Java API.
+// through libc, bypassing the hookable Java API. The kernel still builds
+// real transport segments for it — the SYN/data/FIN just leave untagged,
+// which is exactly what the enforcer's untagged-drop posture catches.
 func (a *App) invokeNative(op NetOp, payload []byte) ([]*ipv4.Packet, int, error) {
 	k := a.device.stack.Kernel()
-	fd := k.Socket(a.UID, ipv4.ProtoTCP)
+	fd := k.Socket(a.UID, op.Proto)
 	local := netip.AddrPortFrom(a.device.stack.LocalAddr(), 39000+uint16(fd%1000))
 	if err := k.Connect(fd, local, op.Endpoint); err != nil {
 		return nil, fd, fmt.Errorf("android: native connect: %w", err)
 	}
 	var pkts []*ipv4.Packet
-	for r := 0; r < op.Requests; r++ {
-		pkt, err := k.Send(fd, payload)
+	appendOK := func(pkt *ipv4.Packet, err error) error {
 		if err != nil && !errors.Is(err, kernel.ErrNoQueueHandler) {
-			return pkts, fd, fmt.Errorf("android: native send: %w", err)
+			return err
 		}
 		if pkt != nil {
 			pkts = append(pkts, pkt)
 		}
+		return nil
+	}
+	if err := appendOK(k.Handshake(fd)); err != nil {
+		return pkts, fd, fmt.Errorf("android: native handshake: %w", err)
+	}
+	for r := 0; r < op.Requests; r++ {
+		if err := appendOK(k.Send(fd, payload)); err != nil {
+			return pkts, fd, fmt.Errorf("android: native send: %w", err)
+		}
+	}
+	if err := appendOK(k.Shutdown(fd)); err != nil {
+		return pkts, fd, fmt.Errorf("android: native shutdown: %w", err)
 	}
 	if err := k.Close(fd); err != nil {
 		return pkts, fd, err

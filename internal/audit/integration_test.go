@@ -13,6 +13,7 @@ import (
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
+	"borderpatrol/internal/transport"
 )
 
 // buildAuditedEnforcer assembles an enforcer with a flow cache and this
@@ -59,6 +60,11 @@ func buildAuditedEnforcer(tb testing.TB, l *Log, cached bool) (*enforcer.Enforce
 	if err != nil {
 		tb.Fatal(err)
 	}
+	seg := transport.TCPSegment{
+		SrcPort: 40001, DstPort: 443, Seq: 1,
+		Flags: transport.FlagPSH | transport.FlagACK, Window: 65535,
+		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+	}
 	pkt := &ipv4.Packet{
 		Header: ipv4.Header{
 			TTL:      64,
@@ -66,7 +72,7 @@ func buildAuditedEnforcer(tb testing.TB, l *Log, cached bool) (*enforcer.Enforce
 			Src:      netip.MustParseAddr("10.66.0.2"),
 			Dst:      netip.MustParseAddr("93.184.216.34"),
 		},
-		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+		Payload: seg.Marshal(),
 	}
 	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: payload})
 	return e, pkt

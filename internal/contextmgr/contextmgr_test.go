@@ -284,8 +284,9 @@ func TestContextAttachedToSocket(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = gotCtx
-	if len(res.Packets) != 1 || !res.Tagged {
-		t.Fatal("analytics invoke did not emit a tagged packet")
+	if len(res.Packets) != 3 || !res.Tagged {
+		t.Fatalf("analytics invoke emitted %d packets (tagged=%v), want 3 tagged",
+			len(res.Packets), res.Tagged)
 	}
 }
 
@@ -315,13 +316,14 @@ func TestSocketsTaggedOncePerConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Packets) != 5 {
-		t.Fatalf("got %d packets", len(res.Packets))
+	if len(res.Packets) != 7 {
+		t.Fatalf("got %d packets, want 7 (SYN + 5 requests + FIN)", len(res.Packets))
 	}
 	if st := m2.Stats(); st.SocketsTagged != 1 {
 		t.Fatalf("tagged %d sockets for one keep-alive connection", st.SocketsTagged)
 	}
-	// All 5 packets carry the identical tag.
+	// Every packet of the connection — SYN and FIN included — carries the
+	// identical tag (the §VI-D observation the flow cache builds on).
 	first, _ := res.Packets[0].Header.FindOption(ipv4.OptSecurity)
 	for i, pkt := range res.Packets {
 		opt, ok := pkt.Header.FindOption(ipv4.OptSecurity)

@@ -1,0 +1,147 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Wire format for DNS-over-UDP through the simulated gateway: a compact
+// A-record query/answer encoding riding in transport.UDPDatagram
+// payloads. It keeps DNS's shape — 16-bit transaction ID, a QR bit, an
+// RCODE, a name, an address set — without the label-compression machinery
+// the simulator does not need. The point of the workload is not protocol
+// fidelity but the path: a provisioned app's resolver opens a UDP socket,
+// the Context Manager tags it like any other socket, the gateway policy-
+// checks every query datagram, and the zone answers — the first
+// non-HTTP traffic through the full stack.
+//
+// Layout (big-endian):
+//
+//	query:  id(2) | flags(1, QR=0) | nameLen(1) | name
+//	answer: id(2) | flags(1, QR=1 | rcode in low nibble) | count(1) | count × 4-byte IPv4
+const (
+	// flagResponse is the QR bit in the flags octet.
+	flagResponse = 0x80
+
+	// RCodeOK is a successful resolution.
+	RCodeOK = 0
+	// RCodeNXDomain reports an unknown name (mirrors DNS RCODE 3).
+	RCodeNXDomain = 3
+
+	// MaxName bounds query names (DNS's own limit is 255 octets).
+	MaxName = 255
+	// maxAnswers bounds an answer's address set (the count octet).
+	maxAnswers = 255
+)
+
+// Wire-format errors.
+var (
+	ErrWireMalformed = errors.New("dns: malformed message")
+)
+
+// Query is one A-record question.
+type Query struct {
+	// ID is the transaction identifier echoed in the answer.
+	ID uint16
+	// Name is the fully-qualified name being resolved.
+	Name string
+}
+
+// Marshal renders the query.
+func (q *Query) Marshal() ([]byte, error) {
+	name := canonical(q.Name)
+	if name == "" || len(name) > MaxName {
+		return nil, fmt.Errorf("%w: name %q", ErrWireMalformed, q.Name)
+	}
+	buf := make([]byte, 0, 4+len(name))
+	buf = append(buf, byte(q.ID>>8), byte(q.ID), 0, byte(len(name)))
+	return append(buf, name...), nil
+}
+
+// ParseQuery parses a query payload.
+func ParseQuery(b []byte) (*Query, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrWireMalformed, len(b))
+	}
+	if b[2]&flagResponse != 0 {
+		return nil, fmt.Errorf("%w: QR set on query", ErrWireMalformed)
+	}
+	n := int(b[3])
+	if n == 0 || len(b) != 4+n {
+		return nil, fmt.Errorf("%w: name length %d in %d bytes", ErrWireMalformed, n, len(b))
+	}
+	return &Query{ID: uint16(b[0])<<8 | uint16(b[1]), Name: string(b[4:])}, nil
+}
+
+// Answer is the response to a Query.
+type Answer struct {
+	// ID echoes the query's transaction identifier.
+	ID uint16
+	// RCode is RCodeOK or RCodeNXDomain.
+	RCode byte
+	// Addrs is the resolved address set (round-robin order), empty on
+	// NXDOMAIN.
+	Addrs []netip.Addr
+}
+
+// Marshal renders the answer.
+func (a *Answer) Marshal() ([]byte, error) {
+	if len(a.Addrs) > maxAnswers {
+		return nil, fmt.Errorf("%w: %d answers", ErrWireMalformed, len(a.Addrs))
+	}
+	buf := make([]byte, 0, 4+4*len(a.Addrs))
+	buf = append(buf, byte(a.ID>>8), byte(a.ID), flagResponse|a.RCode&0x0f, byte(len(a.Addrs)))
+	for _, addr := range a.Addrs {
+		if !addr.Is4() {
+			return nil, fmt.Errorf("%w: %v is not IPv4", ErrWireMalformed, addr)
+		}
+		a4 := addr.As4()
+		buf = append(buf, a4[:]...)
+	}
+	return buf, nil
+}
+
+// ParseAnswer parses an answer payload.
+func ParseAnswer(b []byte) (*Answer, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrWireMalformed, len(b))
+	}
+	if b[2]&flagResponse == 0 {
+		return nil, fmt.Errorf("%w: QR clear on answer", ErrWireMalformed)
+	}
+	count := int(b[3])
+	if len(b) != 4+4*count {
+		return nil, fmt.Errorf("%w: %d answers in %d bytes", ErrWireMalformed, count, len(b))
+	}
+	out := &Answer{ID: uint16(b[0])<<8 | uint16(b[1]), RCode: b[2] & 0x0f}
+	for i := 0; i < count; i++ {
+		out.Addrs = append(out.Addrs, netip.AddrFrom4([4]byte(b[4+4*i:8+4*i])))
+	}
+	return out, nil
+}
+
+// ZoneHandler serves a zone over UDP: it parses each query datagram,
+// resolves it against the zone, and marshals the answer (NXDOMAIN for
+// unknown names, nil for undecodable payloads). Plug it into
+// netsim.Server.UDPHandler to stand up a DNS server behind the gateway.
+func ZoneHandler(z *Zone) func(payload []byte) []byte {
+	return func(payload []byte) []byte {
+		q, err := ParseQuery(payload)
+		if err != nil {
+			return nil
+		}
+		addrs, err := z.Resolve(q.Name)
+		ans := &Answer{ID: q.ID}
+		if err != nil {
+			ans.RCode = RCodeNXDomain
+		} else {
+			ans.Addrs = addrs
+		}
+		out, err := ans.Marshal()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+}

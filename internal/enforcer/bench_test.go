@@ -11,6 +11,7 @@ import (
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
+	"borderpatrol/internal/transport"
 )
 
 // benchEnforcer builds an enforcer against the §VI-B1 validation-scale
@@ -45,6 +46,13 @@ func benchEnforcer(b *testing.B, cached bool) (*Enforcer, *ipv4.Packet) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The HTTP request rides a real TCP segment, so the measured hit path
+	// includes the transport peek that completes the 5-tuple flow key.
+	seg := transport.TCPSegment{
+		SrcPort: 40001, DstPort: 443, Seq: 1,
+		Flags: transport.FlagPSH | transport.FlagACK, Window: 65535,
+		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+	}
 	pkt := &ipv4.Packet{
 		Header: ipv4.Header{
 			TTL:      64,
@@ -52,7 +60,7 @@ func benchEnforcer(b *testing.B, cached bool) (*Enforcer, *ipv4.Packet) {
 			Src:      netip.MustParseAddr("10.66.0.2"),
 			Dst:      netip.MustParseAddr("93.184.216.34"),
 		},
-		Payload: []byte("POST /x HTTP/1.1\r\n\r\n"),
+		Payload: seg.Marshal(),
 	}
 	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: payload})
 	return e, pkt

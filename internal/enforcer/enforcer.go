@@ -34,6 +34,7 @@ import (
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
+	"borderpatrol/internal/transport"
 )
 
 // FlowCache caches one enforcement Result per flow. Cached Results share
@@ -202,20 +203,29 @@ func (e *Enforcer) generation() uint64 {
 	return e.db.Generation()<<32 | e.engine.Generation()&0xffffffff
 }
 
-// flowKey builds the cache key for a tagged packet without decoding the
-// tag: endpoints and protocol from the header, and the tag payload
-// (which begins with the app's truncated hash) pinned verbatim plus its
-// digest. Ports stay zero — the simulator's IPv4 model carries no
-// transport header. ok is false for oversized tag payloads, which must
-// bypass the cache.
-func flowKey(pkt *ipv4.Packet, tagData []byte) (k flowtable.Key, ok bool) {
+// flowKey fills the cache key for a tagged packet without decoding the
+// tag: the full 5-tuple — endpoints and protocol from the IPv4 header,
+// real transport ports peeked (zero-alloc, structural checks only) out of
+// the TCP/UDP header — and the tag payload (which begins with the app's
+// truncated hash) pinned verbatim plus its digest. Real ports mean two
+// apps talking to the same host pair get distinct flow entries, and every
+// TCP connection is its own flow (so teardown on FIN cannot evict a
+// sibling connection's verdict). Ports stay zero for legacy plain
+// payloads (no transport header) and for non-first fragments — PeekPacket
+// refuses both, so garbage bytes can never be keyed as ports. ok is false
+// for oversized tag payloads, which must bypass the cache. The key is
+// filled through a pointer so the hot path never copies the ~100-byte Key
+// across call frames.
+func flowKey(k *flowtable.Key, pkt *ipv4.Packet, tagData []byte) (ok bool) {
 	k.Src = pkt.Header.Src
 	k.Dst = pkt.Header.Dst
 	k.Proto = pkt.Header.Protocol
-	if !k.SetTag(tagData) {
-		return flowtable.Key{}, false
+	k.SrcPort, k.DstPort = 0, 0
+	if sp, dp, hasTransport := transport.PeekPorts(pkt.Header.Protocol, pkt.Header.FragOff, pkt.Payload); hasTransport {
+		k.SrcPort = sp
+		k.DstPort = dp
 	}
-	return k, true
+	return k.SetTag(tagData)
 }
 
 // Process runs the three enforcement stages on one packet, short-circuited
@@ -257,8 +267,8 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 	// concurrent SetRules/AddEntry makes the inserted entry stale rather
 	// than letting a pre-update verdict survive under the new generation.
 	gen := e.generation()
-	key, cacheable := flowKey(pkt, opt.Data)
-	if !cacheable {
+	var key flowtable.Key
+	if !flowKey(&key, pkt, opt.Data) {
 		return e.evaluateTag(opt.Data)
 	}
 	if res, ok := e.flows.Lookup(key, gen); ok {
@@ -352,7 +362,8 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 			res = e.evaluateTag(opt.Data)
 		default:
 			gen := e.generation()
-			key, cacheable := flowKey(pkt, opt.Data)
+			var key flowtable.Key
+			cacheable := flowKey(&key, pkt, opt.Data)
 			switch {
 			case !cacheable:
 				res = e.evaluateTag(opt.Data)
@@ -393,8 +404,8 @@ func (e *Enforcer) EndFlow(pkt *ipv4.Packet) bool {
 	if !tagged {
 		return false
 	}
-	key, cacheable := flowKey(pkt, opt.Data)
-	if !cacheable {
+	var key flowtable.Key
+	if !flowKey(&key, pkt, opt.Data) {
 		return false
 	}
 	return e.flows.Delete(key)

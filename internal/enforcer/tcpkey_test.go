@@ -1,0 +1,131 @@
+package enforcer
+
+import (
+	"testing"
+
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/transport"
+)
+
+// withTCP wraps a legacy test packet's payload in a TCP segment with the
+// given source port (destination 443), turning it into the transport-era
+// wire shape.
+func withTCP(pkt *ipv4.Packet, srcPort uint16) *ipv4.Packet {
+	out := pkt.Clone()
+	seg := transport.TCPSegment{
+		SrcPort: srcPort, DstPort: 443, Seq: 1,
+		Flags: transport.FlagPSH | transport.FlagACK, Window: 65535,
+		Payload: pkt.Payload,
+	}
+	out.Payload = seg.Marshal()
+	return out
+}
+
+// TestTCPPortsSeparateFlows: two connections between the same host pair
+// with the same tag — two apps, or two sockets of one app — get distinct
+// flow entries now that the key carries real ports.
+func TestTCPPortsSeparateFlows(t *testing.T) {
+	e, db, apk := newCachedEnforcer(t, Config{}, nil, policy.VerdictAllow)
+	base := mkPacket(t, apk, db, "download")
+
+	connA := withTCP(base, 40001)
+	connB := withTCP(base, 40002)
+
+	if res := e.Process(connA); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("connA: %+v", res)
+	}
+	if res := e.Process(connB); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("connB: %+v", res)
+	}
+	st := e.Stats()
+	if st.Flow.Misses != 2 || st.Flow.Live != 2 {
+		t.Fatalf("same-endpoint connections shared a flow entry: %+v", st.Flow)
+	}
+	// Repeats on each connection hit their own entry.
+	e.Process(connA)
+	e.Process(connB)
+	if st := e.Stats(); st.Flow.Hits != 2 {
+		t.Fatalf("flow hits = %d, want 2", st.Flow.Hits)
+	}
+}
+
+// TestEndFlowTearsDownOnlyItsConnection: FIN-driven teardown keyed on the
+// 5-tuple must not evict a sibling connection between the same hosts.
+func TestEndFlowTearsDownOnlyItsConnection(t *testing.T) {
+	e, db, apk := newCachedEnforcer(t, Config{}, nil, policy.VerdictAllow)
+	base := mkPacket(t, apk, db, "download")
+	connA := withTCP(base, 40001)
+	connB := withTCP(base, 40002)
+	e.Process(connA)
+	e.Process(connB)
+
+	if !e.EndFlow(connA) {
+		t.Fatal("EndFlow missed connA")
+	}
+	st := e.Stats()
+	if st.Flow.Live != 1 {
+		t.Fatalf("live flows = %d after one teardown, want 1", st.Flow.Live)
+	}
+	// connB still hits; connA re-resolves.
+	e.Process(connB)
+	if st := e.Stats(); st.Flow.Hits != 1 {
+		t.Fatalf("sibling connection lost its entry: %+v", st.Flow)
+	}
+}
+
+// TestFragmentsNotKeyedByGarbagePorts: fragments of a tagged TCP packet
+// all get verdicts (the copied tag decides them), but only the first
+// fragment — the one actually carrying the transport header — may
+// contribute ports to its flow key. Non-first fragments key with zero
+// ports rather than garbage payload bytes.
+func TestFragmentsNotKeyedByGarbagePorts(t *testing.T) {
+	e, db, apk := newCachedEnforcer(t, Config{}, nil, policy.VerdictAllow)
+	base := mkPacket(t, apk, db, "download")
+	full := withTCP(base, 40001)
+	// Grow the payload so fragmentation yields several pieces.
+	seg, err := transport.ParseTCP(full.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.Payload = append(seg.Payload, make([]byte, 4000)...)
+	full.Payload = seg.Marshal()
+
+	frags, err := ipv4.Fragment(full, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("got %d fragments", len(frags))
+	}
+	for i, f := range frags {
+		if res := e.Process(f); res.Verdict != policy.VerdictAllow {
+			t.Fatalf("fragment %d dropped: %+v", i, res)
+		}
+	}
+	// Two flow entries: the first fragment's ported key, and one shared
+	// port-less key for every non-first fragment (they must all collapse
+	// onto the same zero-port key — garbage ports would scatter them).
+	st := e.Stats()
+	if st.Flow.Live != 2 {
+		t.Fatalf("live flows = %d, want 2 (ported + port-less)", st.Flow.Live)
+	}
+	wantHits := uint64(len(frags) - 2) // non-first fragments after the first miss
+	if st.Flow.Hits != wantHits {
+		t.Fatalf("hits = %d, want %d (non-first fragments share one key)", st.Flow.Hits, wantHits)
+	}
+}
+
+// TestLegacyPayloadKeysWithZeroPorts: plain-HTTP packets (no transport
+// header) keep the PR 2 keying — ports zero, one flow per (endpoints,
+// proto, tag).
+func TestLegacyPayloadKeysWithZeroPorts(t *testing.T) {
+	e, db, apk := newCachedEnforcer(t, Config{}, nil, policy.VerdictAllow)
+	legacy := mkPacket(t, apk, db, "download") // raw HTTP payload
+	e.Process(legacy)
+	e.Process(legacy)
+	st := e.Stats()
+	if st.Flow.Misses != 1 || st.Flow.Hits != 1 || st.Flow.Live != 1 {
+		t.Fatalf("legacy keying changed: %+v", st.Flow)
+	}
+}

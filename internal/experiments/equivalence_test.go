@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTransportEquivalence is the refactor's regression anchor: the full
+// §VI-B1 validation experiment must produce identical verdict counts
+// whether app traffic rides real TCP segments (HTTP-over-TCP with
+// SYN/FIN lifecycle) or the legacy plain-payload wire format. The
+// enforcement decision depends only on the contextual tag, and validation
+// scores data packets, so the two wire formats must agree number for
+// number — any divergence means the transport layer changed semantics,
+// not just framing.
+func TestTransportEquivalence(t *testing.T) {
+	corpus := smallCorpus(t, 200)
+	run := func(legacy bool) *ValidationResult {
+		res, err := RunValidation(ValidationConfig{
+			Corpus:         corpus,
+			SampleSize:     15,
+			TopLibraries:   15,
+			LegacyPayloads: legacy,
+		})
+		if err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		return res
+	}
+	tcp := run(false)
+	legacy := run(true)
+
+	if tcp.TrackerPacketsTotal == 0 || tcp.DesirableTotal == 0 {
+		t.Fatalf("degenerate sample: %+v", tcp)
+	}
+	if tcp.TrackerPacketsTotal != legacy.TrackerPacketsTotal ||
+		tcp.TrackerPacketsDropped != legacy.TrackerPacketsDropped {
+		t.Fatalf("tracker verdicts diverged: tcp %d/%d vs legacy %d/%d",
+			tcp.TrackerPacketsDropped, tcp.TrackerPacketsTotal,
+			legacy.TrackerPacketsDropped, legacy.TrackerPacketsTotal)
+	}
+	if tcp.DesirableTotal != legacy.DesirableTotal ||
+		tcp.DesirableDelivered != legacy.DesirableDelivered {
+		t.Fatalf("desirable verdicts diverged: tcp %d/%d vs legacy %d/%d",
+			tcp.DesirableDelivered, tcp.DesirableTotal,
+			legacy.DesirableDelivered, legacy.DesirableTotal)
+	}
+	if tcp.VisibleChangeApps != legacy.VisibleChangeApps || tcp.BrokenApps != legacy.BrokenApps {
+		t.Fatalf("app impact diverged: tcp (%d visible, %d broken) vs legacy (%d, %d)",
+			tcp.VisibleChangeApps, tcp.BrokenApps, legacy.VisibleChangeApps, legacy.BrokenApps)
+	}
+	if !reflect.DeepEqual(tcp.PerLibrary, legacy.PerLibrary) {
+		t.Fatalf("per-library drops diverged:\n tcp    %v\n legacy %v", tcp.PerLibrary, legacy.PerLibrary)
+	}
+	if tcp.SampleApps != legacy.SampleApps || tcp.LibrariesCovered != legacy.LibrariesCovered {
+		t.Fatalf("sample diverged: %+v vs %+v", tcp, legacy)
+	}
+}

@@ -127,12 +127,15 @@ func RunFlowSize(corpus []*apkgen.App, threshold int) (*FlowSizeResult, error) {
 		}
 	}
 
-	// BorderPatrol sees the tagged packets.
+	// BorderPatrol sees the tagged packets. Only the data packets count
+	// as fragments of the transfer — each chunk's socket also emits
+	// SYN/FIN control segments, which share the chunk's verdict but carry
+	// no upload bytes.
 	fragBP, err := tb.Apps[0].Invoke("fragmented")
 	if err != nil {
 		return nil, err
 	}
-	for _, pkt := range fragBP.Packets {
+	for _, pkt := range dataPackets(fragBP.Packets) {
 		if d := tb.Network.Deliver(pkt); !d.Delivered {
 			res.BorderPatrolBlockedFragments++
 		}

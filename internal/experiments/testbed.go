@@ -26,6 +26,7 @@ import (
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/policystore"
 	"borderpatrol/internal/sanitizer"
+	"borderpatrol/internal/transport"
 )
 
 // Testbed is a fully assembled BorderPatrol deployment.
@@ -79,6 +80,12 @@ type TestbedConfig struct {
 	// PolicyPoll starts background hot reload at this interval when > 0
 	// (manual Testbed.Policy.Reload() otherwise). Requires PolicySource.
 	PolicyPoll time.Duration
+	// LegacyPayloads runs the device on the pre-transport wire format:
+	// payloads ride directly in the IPv4 payload with no TCP/UDP header
+	// and no SYN/FIN lifecycle. Used by the transport-equivalence
+	// regression, which proves both wire formats produce identical
+	// workload verdicts.
+	LegacyPayloads bool
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -86,8 +93,12 @@ type TestbedConfig struct {
 // server per endpoint the corpus references.
 func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 	device := android.NewDevice(android.Config{
-		Addr:            netip.MustParseAddr("10.66.0.2"),
-		Kernel:          kernel.Config{AllowUnprivilegedIPOptions: true, SetOptionsOncePerSocket: true},
+		Addr: netip.MustParseAddr("10.66.0.2"),
+		Kernel: kernel.Config{
+			AllowUnprivilegedIPOptions: true,
+			SetOptionsOncePerSocket:    true,
+			RawPayloads:                cfg.LegacyPayloads,
+		},
 		XposedInstalled: true,
 	})
 	manager := contextmgr.New(device)
@@ -190,6 +201,37 @@ func (tb *Testbed) DeliverAll(pkts []*ipv4.Packet) (delivered, dropped int) {
 		}
 	}
 	return delivered, dropped
+}
+
+// isDataPacket reports whether a packet carries application data — an
+// HTTP request in a TCP data segment, a UDP datagram, or a legacy plain
+// payload (no transport header at all). TCP control segments (SYN, FIN,
+// RST) return false. Experiments that score workload outcomes count data
+// packets so their numbers are identical whether the testbed speaks the
+// transport wire format or the legacy one — the verdict-equivalence
+// property the transport refactor preserves by construction (every packet
+// of a flow carries the same tag, so control segments share their flow's
+// verdict).
+func isDataPacket(pkt *ipv4.Packet) bool {
+	info, ok := transport.PeekPacket(pkt)
+	if !ok {
+		return true // legacy payload (or fragment): all data
+	}
+	if info.Proto == ipv4.ProtoTCP {
+		return len(pkt.Payload) > info.DataOff
+	}
+	return true
+}
+
+// dataPackets filters a burst down to its data packets.
+func dataPackets(pkts []*ipv4.Packet) []*ipv4.Packet {
+	out := make([]*ipv4.Packet, 0, len(pkts))
+	for _, pkt := range pkts {
+		if isDataPacket(pkt) {
+			out = append(out, pkt)
+		}
+	}
+	return out
 }
 
 // Close stops the policy store's hot-reload poller (when one is wired) and

@@ -8,6 +8,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/audit"
 	"borderpatrol/internal/flowtable"
+	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/trackers"
 )
@@ -59,6 +60,11 @@ type ValidationConfig struct {
 	SampleSize int
 	// TopLibraries is how many popular libraries the sample must cover.
 	TopLibraries int
+	// LegacyPayloads runs both testbeds on the pre-transport wire format
+	// (plain payloads, no TCP segments). The experiment counts only data
+	// packets, so its results are identical in either mode — the property
+	// TestTransportEquivalence locks in.
+	LegacyPayloads bool
 }
 
 // DefaultValidationConfig mirrors the paper: 60 apps covering the 60 most
@@ -107,16 +113,37 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	covered := map[string]bool{}
 
 	// Run 1 (enforcement off) establishes the baseline; run 2 enforces.
-	tbOff, err := NewTestbed(sample, TestbedConfig{EnforcementOn: false})
+	tbOff, err := NewTestbed(sample, TestbedConfig{EnforcementOn: false, LegacyPayloads: cfg.LegacyPayloads})
 	if err != nil {
 		return nil, err
 	}
 	defer tbOff.Close()
-	tbOn, err := NewTestbed(sample, TestbedConfig{EnforcementOn: true, Rules: rules, DefaultVerdict: policy.VerdictAllow})
+	tbOn, err := NewTestbed(sample, TestbedConfig{
+		EnforcementOn: true, Rules: rules, DefaultVerdict: policy.VerdictAllow,
+		LegacyPayloads: cfg.LegacyPayloads,
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer tbOn.Close()
+
+	// deliverData pushes the whole burst through the gateway (control
+	// segments included — they need verdicts like any packet) but scores
+	// only data packets, so tracker/desirable counts are identical across
+	// wire formats.
+	deliverData := func(tb *Testbed, pkts []*ipv4.Packet) (dataTotal, dataDelivered int) {
+		deliveries := tb.Network.DeliverBatch(pkts)
+		for i, d := range deliveries {
+			if !isDataPacket(pkts[i]) {
+				continue
+			}
+			dataTotal++
+			if d.Delivered {
+				dataDelivered++
+			}
+		}
+		return dataTotal, dataDelivered
+	}
 
 	for i, ga := range sample {
 		visible := false
@@ -128,25 +155,25 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("validation: baseline %s/%s: %w", ga.APK.PackageName, fn.Name, err)
 			}
-			offDelivered, _ := tbOff.DeliverAll(resOff.Packets)
+			_, offDelivered := deliverData(tbOff, resOff.Packets)
 
 			// Enforced run.
 			resOn, err := tbOn.Apps[i].Invoke(fn.Name)
 			if err != nil {
 				return nil, fmt.Errorf("validation: enforced %s/%s: %w", ga.APK.PackageName, fn.Name, err)
 			}
-			onDelivered, _ := tbOn.DeliverAll(resOn.Packets)
+			onTotal, onDelivered := deliverData(tbOn, resOn.Packets)
 
 			if meta.IsTracker {
-				res.TrackerPacketsTotal += len(resOn.Packets)
-				res.TrackerPacketsDropped += len(resOn.Packets) - onDelivered
-				res.PerLibrary[meta.LibraryPkg] += len(resOn.Packets) - onDelivered
+				res.TrackerPacketsTotal += onTotal
+				res.TrackerPacketsDropped += onTotal - onDelivered
+				res.PerLibrary[meta.LibraryPkg] += onTotal - onDelivered
 				covered[meta.LibraryPkg] = true
 				if meta.VisibleWhenBlocked && onDelivered < offDelivered {
 					visible = true
 				}
 			} else if fn.Desirable {
-				res.DesirableTotal += len(resOn.Packets)
+				res.DesirableTotal += onTotal
 				res.DesirableDelivered += onDelivered
 				if onDelivered < offDelivered {
 					broken = true

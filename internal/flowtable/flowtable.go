@@ -7,12 +7,12 @@
 //
 // # Keying
 //
-// A flow is identified by Key: the IPv4 endpoints (src, dst), transport
-// ports when the caller knows them (the simulator's IPv4 model carries no
-// transport header, so the enforcer leaves them zero), the protocol, and
-// the raw tag bytes themselves — which begin with the app's truncated
-// hash — pinned verbatim in the key, with a 64-bit digest of them for
-// indexing.
+// A flow is identified by Key: the full 5-tuple — IPv4 endpoints
+// (src, dst), the transport ports the enforcer peeks out of the TCP/UDP
+// header (zero for legacy plain payloads and non-first fragments), the
+// protocol — and the raw tag bytes themselves — which begin with the
+// app's truncated hash — pinned verbatim in the key, with a 64-bit digest
+// of them for indexing.
 // Internally each shard maps a 64-bit mix of the whole Key to its entry,
 // and every probe verifies the full stored Key — including the exact tag
 // bytes — so a digest or hash collision between different flows can only
@@ -69,9 +69,9 @@ const MaxTagBytes = 38
 type Key struct {
 	// Src and Dst are the packet's IPv4 endpoints.
 	Src, Dst netip.Addr
-	// SrcPort and DstPort are the transport ports when the caller knows
-	// them; the simulator's IPv4 model carries no transport header, so the
-	// enforcer leaves them zero.
+	// SrcPort and DstPort are the transport ports peeked from the packet's
+	// TCP/UDP header; zero when the payload carries no transport header
+	// (legacy plain payloads, non-first fragments).
 	SrcPort, DstPort uint16
 	// Proto is the IPv4 protocol number.
 	Proto byte
@@ -166,6 +166,19 @@ type Config struct {
 	// Clock supplies virtual time for TTL and recency; nil falls back to a
 	// monotonic tick counter (recency only, no TTL).
 	Clock Clock
+	// MissRing sizes the per-shard negative cache guarding admission under
+	// capacity pressure (0 disables it). A unique-flow flood — a SYN flood
+	// of crafted tags is the worst case — otherwise turns every insert
+	// into an eviction-sample-plus-insert on a full shard (~2.6 µs per
+	// miss measured under 100% eviction pressure) and churns established
+	// flows out of the cache. With the guard, an insert into a full shard
+	// must present a key whose digest was recently rejected once: the
+	// first attempt only notes the digest in a small ring and returns, so
+	// one-packet flood flows never allocate an entry, never evict a live
+	// flow, and pay a ring scan instead of the eviction path. Real flows
+	// pay the full pipeline for one extra packet and are admitted on
+	// their second miss. Shards below capacity admit immediately.
+	MissRing int
 }
 
 // Stats snapshots the table's counters.
@@ -184,6 +197,10 @@ type Stats struct {
 	StaleDrops uint64
 	// ExpiredDrops counts entries discarded past their TTL.
 	ExpiredDrops uint64
+	// AdmissionDrops counts inserts turned away by the negative-cache
+	// admission guard (first-seen keys hitting a full shard — the
+	// unique-flow-flood signature).
+	AdmissionDrops uint64
 	// Live is the number of entries currently in the table.
 	Live int
 }
@@ -216,8 +233,37 @@ type shard[V any] struct {
 	ringPos int
 	// rng is the shard's xorshift state for picking the sample window.
 	rng uint64
+	// missRing is the shard's negative cache: hashes of keys recently
+	// refused admission under capacity pressure (0 = empty slot). A key
+	// found here on its next insert attempt is admitted — the doorkeeper
+	// pattern: one-packet flood flows never get past the ring.
+	missRing []uint64
+	missPos  int
 	// pad keeps neighbouring shard locks off one cache line.
 	_ [40]byte
+}
+
+// sawRecentMiss reports whether h was refused admission recently, and
+// consumes the slot so each noted miss admits at most one insert. Caller
+// holds the shard's write lock.
+func (s *shard[V]) sawRecentMiss(h uint64) bool {
+	for i, v := range s.missRing {
+		if v == h {
+			s.missRing[i] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// noteMiss records a refused key's hash in the ring, overwriting the
+// oldest slot. Caller holds the shard's write lock.
+func (s *shard[V]) noteMiss(h uint64) {
+	s.missRing[s.missPos] = h
+	s.missPos++
+	if s.missPos == len(s.missRing) {
+		s.missPos = 0
+	}
 }
 
 // evictSamples bounds the eviction scan: reclaim expired entries among a
@@ -236,12 +282,13 @@ type Table[V any] struct {
 
 	tick atomic.Int64 // recency source when clock is nil
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	inserts   atomic.Uint64
-	evictions atomic.Uint64
-	stale     atomic.Uint64
-	expired   atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	inserts        atomic.Uint64
+	evictions      atomic.Uint64
+	stale          atomic.Uint64
+	expired        atomic.Uint64
+	admissionDrops atomic.Uint64
 }
 
 // New builds a table.
@@ -276,6 +323,9 @@ func New[V any](cfg Config) *Table[V] {
 	for i := range t.shards {
 		t.shards[i].entries = make(map[uint64]*entry[V], per)
 		t.shards[i].rng = uint64(i)*0x9e3779b97f4a7c15 + 1
+		if cfg.MissRing > 0 {
+			t.shards[i].missRing = make([]uint64, cfg.MissRing)
+		}
 	}
 	return t
 }
@@ -348,8 +398,6 @@ func (t *Table[V]) Insert(k Key, gen uint64, v V) {
 	h := k.hash()
 	s := &t.shards[h&t.mask]
 	now := t.now()
-	e := &entry[V]{key: k, val: v, h: h, gen: gen, born: now}
-	e.lastUsed.Store(int64(now))
 	s.mu.Lock()
 	if old, exists := s.entries[h]; exists {
 		// Same-hash overwrite (re-insert after invalidation, or a hash
@@ -357,8 +405,21 @@ func (t *Table[V]) Insert(k Key, gen uint64, v V) {
 		// ring sampler; the new entry takes a fresh ring slot.
 		old.dead = true
 	} else if len(s.entries) >= t.perShardCap {
+		// Negative-cache admission guard: a full shard admits only keys
+		// already turned away once. First-seen keys — the unique-flow
+		// flood — cost a ring scan, not an eviction, and bail out before
+		// the entry is even allocated, so the flood path is allocation
+		// free.
+		if len(s.missRing) > 0 && !s.sawRecentMiss(h) {
+			s.noteMiss(h)
+			s.mu.Unlock()
+			t.admissionDrops.Add(1)
+			return
+		}
 		t.evictLocked(s, now)
 	}
+	e := &entry[V]{key: k, val: v, h: h, gen: gen, born: now}
+	e.lastUsed.Store(int64(now))
 	if len(s.ring) < t.perShardCap {
 		s.ring = append(s.ring, e)
 	} else {
@@ -473,12 +534,13 @@ func (t *Table[V]) Len() int {
 // Stats snapshots the counters.
 func (t *Table[V]) Stats() Stats {
 	return Stats{
-		Hits:         t.hits.Load(),
-		Misses:       t.misses.Load(),
-		Inserts:      t.inserts.Load(),
-		Evictions:    t.evictions.Load(),
-		StaleDrops:   t.stale.Load(),
-		ExpiredDrops: t.expired.Load(),
-		Live:         t.Len(),
+		Hits:           t.hits.Load(),
+		Misses:         t.misses.Load(),
+		Inserts:        t.inserts.Load(),
+		Evictions:      t.evictions.Load(),
+		StaleDrops:     t.stale.Load(),
+		ExpiredDrops:   t.expired.Load(),
+		AdmissionDrops: t.admissionDrops.Load(),
+		Live:           t.Len(),
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/transport"
 )
 
 // Capability bits mirror the Linux capabilities relevant to IP_OPTIONS.
@@ -37,6 +38,13 @@ type Config struct {
 	// tag replay: once IP_OPTIONS is set on a socket, further setsockopt
 	// calls for it fail.
 	SetOptionsOncePerSocket bool
+	// RawPayloads reverts to the pre-transport wire format: Send places
+	// the application payload directly in the IPv4 payload (no TCP/UDP
+	// header) and Handshake/Shutdown emit nothing. Kept for the
+	// equivalence regression against the legacy simulator and for
+	// harnesses whose latency calibration charges per-request, not
+	// per-segment (the Fig. 4 stress test).
+	RawPayloads bool
 }
 
 // Errors mirroring the errno values the real syscalls produce.
@@ -74,6 +82,13 @@ type Socket struct {
 	// OwnerUID identifies the app owning the socket (Android gives each
 	// app a distinct uid).
 	OwnerUID int
+	// seq is the TCP send sequence number: the ISN is picked at connect,
+	// the SYN and FIN each consume one, data consumes its length.
+	seq uint32
+	// synSent and finSent track the connection-lifecycle segments already
+	// emitted, so Handshake/Shutdown are idempotent and data cannot
+	// follow a FIN.
+	synSent, finSent bool
 }
 
 // Kernel is one simulated kernel instance (one per device).
@@ -142,6 +157,9 @@ func (k *Kernel) Connect(fd int, local, remote netip.AddrPort) error {
 	s.Local = local
 	s.Remote = remote
 	s.State = SockConnected
+	// Deterministic ISN: fd and port spread connections apart; the
+	// simulator needs reproducibility, not the RFC 6528 hash.
+	s.seq = uint32(fd)<<16 | uint32(local.Port())
 	k.connectCalls++
 	return nil
 }
@@ -213,10 +231,91 @@ func (k *Kernel) Close(fd int) error {
 }
 
 // Send builds the IPv4 packet for a payload written to a connected socket,
-// stamps the socket's IP options into the header, and runs it through the
-// netfilter OUTPUT chain. It returns the packet as it should enter the
-// network (nil packet when a netfilter verdict dropped it).
+// wraps it in the socket's transport header (a TCP data segment or a UDP
+// datagram carrying the socket's real ports — unless Config.RawPayloads
+// selects the legacy plain wire format), stamps the socket's IP options
+// into the IPv4 header, and runs it through the netfilter OUTPUT chain.
+// It returns the packet as it should enter the network (nil packet when a
+// netfilter verdict dropped it).
 func (k *Kernel) Send(fd int, payload []byte) (*ipv4.Packet, error) {
+	k.mu.Lock()
+	s, ok := k.sockets[fd]
+	if !ok || s.State == SockClosed {
+		k.mu.Unlock()
+		return nil, ErrBadFD
+	}
+	if s.State != SockConnected || s.finSent {
+		k.mu.Unlock()
+		return nil, ErrNotConnected
+	}
+	var wire []byte
+	switch {
+	case k.cfg.RawPayloads:
+		wire = append([]byte(nil), payload...)
+	case s.Protocol == ipv4.ProtoUDP:
+		if len(payload) > transport.MaxUDPPayload {
+			// EMSGSIZE: the 16-bit UDP length field cannot represent it,
+			// and Marshal would silently wrap the field.
+			k.mu.Unlock()
+			return nil, fmt.Errorf("%w: UDP payload %d exceeds %d bytes",
+				ErrInvalid, len(payload), transport.MaxUDPPayload)
+		}
+		dg := transport.UDPDatagram{
+			SrcPort: s.Local.Port(),
+			DstPort: s.Remote.Port(),
+			Payload: payload,
+		}
+		wire = dg.Marshal()
+	default:
+		seg := transport.TCPSegment{
+			SrcPort: s.Local.Port(),
+			DstPort: s.Remote.Port(),
+			Seq:     s.seq,
+			Flags:   transport.FlagPSH | transport.FlagACK,
+			Window:  65535,
+			Payload: payload,
+		}
+		s.seq += uint32(len(payload))
+		wire = seg.Marshal()
+	}
+	pkt, filter := k.buildPacketLocked(s, wire)
+	k.mu.Unlock()
+
+	// Traverse the OUTPUT chain outside the kernel lock: NFQUEUE handlers
+	// are user-space programs and may call back into the kernel.
+	return filter.Output(pkt)
+}
+
+// buildPacketLocked assembles the IPv4 packet for a socket's wire payload
+// (transport header included) and stamps the socket's IP options. Caller
+// holds k.mu.
+func (k *Kernel) buildPacketLocked(s *Socket, wire []byte) (*ipv4.Packet, *Netfilter) {
+	k.ipidCounter++
+	pkt := &ipv4.Packet{
+		Header: ipv4.Header{
+			ID:       k.ipidCounter,
+			TTL:      64,
+			Protocol: s.Protocol,
+			Src:      s.Local.Addr(),
+			Dst:      s.Remote.Addr(),
+		},
+		Payload: wire,
+	}
+	for _, o := range s.Options {
+		pkt.Header.SetOption(ipv4.Option{Type: o.Type, Data: append([]byte(nil), o.Data...)})
+	}
+	return pkt, k.filter
+}
+
+// Handshake emits the connection-opening SYN segment for a connected TCP
+// socket through the netfilter OUTPUT chain. It runs after the socket's
+// IP options are in place (the Context Manager's post-connect hook has
+// fired), so the SYN carries the flow's tag like every other packet and
+// the gateway's conntrack can key the connection from its first segment.
+// It returns (nil, nil) when the socket speaks UDP, when RawPayloads
+// selects the legacy wire format, or when the SYN was already sent; a nil
+// packet with nil error also means a device-side filter dropped it.
+func (k *Kernel) Handshake(fd int) (*ipv4.Packet, error) {
 	k.mu.Lock()
 	s, ok := k.sockets[fd]
 	if !ok || s.State == SockClosed {
@@ -227,25 +326,56 @@ func (k *Kernel) Send(fd int, payload []byte) (*ipv4.Packet, error) {
 		k.mu.Unlock()
 		return nil, ErrNotConnected
 	}
-	k.ipidCounter++
-	pkt := &ipv4.Packet{
-		Header: ipv4.Header{
-			ID:       k.ipidCounter,
-			TTL:      64,
-			Protocol: s.Protocol,
-			Src:      s.Local.Addr(),
-			Dst:      s.Remote.Addr(),
-		},
-		Payload: append([]byte(nil), payload...),
+	if k.cfg.RawPayloads || s.Protocol != ipv4.ProtoTCP || s.synSent {
+		k.mu.Unlock()
+		return nil, nil
 	}
-	for _, o := range s.Options {
-		pkt.Header.SetOption(ipv4.Option{Type: o.Type, Data: append([]byte(nil), o.Data...)})
+	seg := transport.TCPSegment{
+		SrcPort: s.Local.Port(),
+		DstPort: s.Remote.Port(),
+		Seq:     s.seq,
+		Flags:   transport.FlagSYN,
+		Window:  65535,
 	}
-	filter := k.filter
+	s.seq++ // the SYN consumes one sequence number
+	s.synSent = true
+	pkt, filter := k.buildPacketLocked(s, seg.Marshal())
 	k.mu.Unlock()
+	return filter.Output(pkt)
+}
 
-	// Traverse the OUTPUT chain outside the kernel lock: NFQUEUE handlers
-	// are user-space programs and may call back into the kernel.
+// Shutdown emits the connection-closing FIN segment (FIN|ACK) for a
+// connected TCP socket through the netfilter OUTPUT chain and marks the
+// socket half-closed: further Sends fail. Like Handshake it returns
+// (nil, nil) for UDP sockets, in RawPayloads mode, or when the FIN was
+// already sent. The gateway's conntrack tears the flow's cached verdict
+// down when this segment passes enforcement.
+func (k *Kernel) Shutdown(fd int) (*ipv4.Packet, error) {
+	k.mu.Lock()
+	s, ok := k.sockets[fd]
+	if !ok || s.State == SockClosed {
+		k.mu.Unlock()
+		return nil, ErrBadFD
+	}
+	if s.State != SockConnected {
+		k.mu.Unlock()
+		return nil, ErrNotConnected
+	}
+	if k.cfg.RawPayloads || s.Protocol != ipv4.ProtoTCP || s.finSent {
+		k.mu.Unlock()
+		return nil, nil
+	}
+	seg := transport.TCPSegment{
+		SrcPort: s.Local.Port(),
+		DstPort: s.Remote.Port(),
+		Seq:     s.seq,
+		Flags:   transport.FlagFIN | transport.FlagACK,
+		Window:  65535,
+	}
+	s.seq++ // the FIN consumes one sequence number
+	s.finSent = true
+	pkt, filter := k.buildPacketLocked(s, seg.Marshal())
+	k.mu.Unlock()
 	return filter.Output(pkt)
 }
 

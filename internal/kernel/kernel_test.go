@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/transport"
 )
 
 func addrPort(a string, p uint16) netip.AddrPort {
@@ -148,7 +149,9 @@ func TestSendStampsOptions(t *testing.T) {
 }
 
 func TestNetfilterQueueVerdicts(t *testing.T) {
-	k := New(Config{AllowUnprivilegedIPOptions: true})
+	// RawPayloads keeps the payload bytes literal so the queue handler can
+	// match on them; netfilter mechanics are identical either way.
+	k := New(Config{AllowUnprivilegedIPOptions: true, RawPayloads: true})
 	nf := k.Netfilter()
 	var seen int
 	nf.RegisterQueue(1, func(pkt *ipv4.Packet) (Verdict, *ipv4.Packet) {
@@ -220,7 +223,7 @@ func TestNetfilterDeadQueueDrops(t *testing.T) {
 }
 
 func TestNetfilterRuleMatchAndTargets(t *testing.T) {
-	k := New(Config{})
+	k := New(Config{RawPayloads: true})
 	nf := k.Netfilter()
 	onlyBig := func(p *ipv4.Packet) bool { return len(p.Payload) > 10 }
 	nf.Append(ChainOutput, Rule{Match: onlyBig, Target: TargetDrop, Comment: "drop big"})
@@ -258,5 +261,147 @@ func TestFDsAreUniquePerKernel(t *testing.T) {
 			t.Fatalf("fd %d reused while open", fd)
 		}
 		seen[fd] = true
+	}
+}
+
+func TestSendWrapsTCPSegment(t *testing.T) {
+	k := New(Config{AllowUnprivilegedIPOptions: true})
+	fd := newConnected(t, k)
+	pkt, err := k.Send(fd, []byte("GET / HTTP/1.1\r\n\r\n"))
+	if err != nil || pkt == nil {
+		t.Fatalf("send: pkt=%v err=%v", pkt, err)
+	}
+	seg, err := transport.ParseTCP(pkt.Payload)
+	if err != nil {
+		t.Fatalf("payload is not a TCP segment: %v", err)
+	}
+	if seg.SrcPort != 40000 || seg.DstPort != 80 {
+		t.Fatalf("segment ports %d->%d, want 40000->80", seg.SrcPort, seg.DstPort)
+	}
+	if seg.Flags != transport.FlagPSH|transport.FlagACK {
+		t.Fatalf("data segment flags %#02x", seg.Flags)
+	}
+	if string(seg.Payload) != "GET / HTTP/1.1\r\n\r\n" {
+		t.Fatalf("segment payload %q", seg.Payload)
+	}
+	// Sequence numbers advance by payload length across sends.
+	pkt2, _ := k.Send(fd, []byte("x"))
+	seg2, err := transport.ParseTCP(pkt2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg2.Seq != seg.Seq+uint32(len(seg.Payload)) {
+		t.Fatalf("seq %d after %d+%d", seg2.Seq, seg.Seq, len(seg.Payload))
+	}
+}
+
+func TestConnectionLifecycleSegments(t *testing.T) {
+	k := New(Config{AllowUnprivilegedIPOptions: true})
+	fd := newConnected(t, k)
+
+	syn, err := k.Handshake(fd)
+	if err != nil || syn == nil {
+		t.Fatalf("handshake: pkt=%v err=%v", syn, err)
+	}
+	seg, err := transport.ParseTCP(syn.Payload)
+	if err != nil || seg.Flags != transport.FlagSYN || len(seg.Payload) != 0 {
+		t.Fatalf("SYN segment = %+v err=%v", seg, err)
+	}
+	// Handshake is idempotent: the SYN goes out once.
+	if again, err := k.Handshake(fd); err != nil || again != nil {
+		t.Fatalf("second handshake: pkt=%v err=%v", again, err)
+	}
+
+	data, err := k.Send(fd, []byte("payload"))
+	if err != nil || data == nil {
+		t.Fatal("send after handshake failed")
+	}
+	dseg, _ := transport.ParseTCP(data.Payload)
+	if dseg.Seq != seg.Seq+1 {
+		t.Fatalf("data seq %d, want ISN+1 = %d (SYN consumes one)", dseg.Seq, seg.Seq+1)
+	}
+
+	fin, err := k.Shutdown(fd)
+	if err != nil || fin == nil {
+		t.Fatalf("shutdown: pkt=%v err=%v", fin, err)
+	}
+	fseg, err := transport.ParseTCP(fin.Payload)
+	if err != nil || fseg.Flags != transport.FlagFIN|transport.FlagACK {
+		t.Fatalf("FIN segment = %+v err=%v", fseg, err)
+	}
+	// Half-closed: no data after FIN, and the FIN goes out once.
+	if _, err := k.Send(fd, []byte("late")); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("send after FIN: %v", err)
+	}
+	if again, err := k.Shutdown(fd); err != nil || again != nil {
+		t.Fatalf("second shutdown: pkt=%v err=%v", again, err)
+	}
+}
+
+func TestUDPSocketsWrapDatagrams(t *testing.T) {
+	k := New(Config{AllowUnprivilegedIPOptions: true})
+	fd := k.Socket(10001, ipv4.ProtoUDP)
+	if err := k.Connect(fd, addrPort("10.0.0.5", 40002), addrPort("10.66.0.53", 53)); err != nil {
+		t.Fatal(err)
+	}
+	// No handshake and no teardown segments on UDP.
+	if pkt, err := k.Handshake(fd); err != nil || pkt != nil {
+		t.Fatalf("UDP handshake: pkt=%v err=%v", pkt, err)
+	}
+	pkt, err := k.Send(fd, []byte("dns-query"))
+	if err != nil || pkt == nil {
+		t.Fatal("UDP send failed")
+	}
+	if pkt.Header.Protocol != ipv4.ProtoUDP {
+		t.Fatalf("protocol = %d", pkt.Header.Protocol)
+	}
+	dg, err := transport.ParseUDP(pkt.Payload)
+	if err != nil {
+		t.Fatalf("payload is not a UDP datagram: %v", err)
+	}
+	if dg.SrcPort != 40002 || dg.DstPort != 53 || string(dg.Payload) != "dns-query" {
+		t.Fatalf("datagram = %+v", dg)
+	}
+	if pkt, err := k.Shutdown(fd); err != nil || pkt != nil {
+		t.Fatalf("UDP shutdown: pkt=%v err=%v", pkt, err)
+	}
+}
+
+func TestRawPayloadsLegacyMode(t *testing.T) {
+	k := New(Config{AllowUnprivilegedIPOptions: true, RawPayloads: true})
+	fd := newConnected(t, k)
+	if pkt, err := k.Handshake(fd); err != nil || pkt != nil {
+		t.Fatalf("legacy handshake: pkt=%v err=%v", pkt, err)
+	}
+	pkt, err := k.Send(fd, []byte("GET / HTTP/1.1\r\n\r\n"))
+	if err != nil || pkt == nil {
+		t.Fatal("legacy send failed")
+	}
+	if string(pkt.Payload) != "GET / HTTP/1.1\r\n\r\n" {
+		t.Fatalf("legacy payload wrapped: %q", pkt.Payload)
+	}
+	if pkt, err := k.Shutdown(fd); err != nil || pkt != nil {
+		t.Fatalf("legacy shutdown: pkt=%v err=%v", pkt, err)
+	}
+}
+
+func TestUDPSendRejectsOversizedPayload(t *testing.T) {
+	k := New(Config{AllowUnprivilegedIPOptions: true})
+	fd := k.Socket(10001, ipv4.ProtoUDP)
+	if err := k.Connect(fd, addrPort("10.0.0.5", 40002), addrPort("10.66.0.53", 53)); err != nil {
+		t.Fatal(err)
+	}
+	// One byte over the 16-bit UDP length budget: EMSGSIZE, not a wrapped
+	// length field.
+	if _, err := k.Send(fd, make([]byte, transport.MaxUDPPayload+1)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("oversized UDP payload: %v", err)
+	}
+	// Exactly at the budget still works.
+	pkt, err := k.Send(fd, make([]byte, transport.MaxUDPPayload))
+	if err != nil || pkt == nil {
+		t.Fatalf("max-size UDP payload: pkt=%v err=%v", pkt, err)
+	}
+	if _, err := transport.ParseUDP(pkt.Payload); err != nil {
+		t.Fatalf("max-size datagram does not parse: %v", err)
 	}
 }

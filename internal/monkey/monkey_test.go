@@ -81,7 +81,8 @@ func TestRunEventAccounting(t *testing.T) {
 	if rep.Invocations < 50 || rep.Invocations > 200 {
 		t.Fatalf("invocations = %d, want ≈100", rep.Invocations)
 	}
-	if len(rep.Packets) != rep.Invocations-rep.Errors {
+	// Each invocation opens one TCP connection: SYN + request + FIN.
+	if len(rep.Packets) != 3*(rep.Invocations-rep.Errors) {
 		t.Fatalf("packets %d vs invocations %d errors %d", len(rep.Packets), rep.Invocations, rep.Errors)
 	}
 	if rep.Errors != 0 {

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/transport"
+)
+
+// Conntrack is the gateway's lightweight connection tracker: the
+// user-space analogue of nf_conntrack that turns TCP control flags into
+// flow lifecycle events. A SYN establishes a connection, a FIN or RST
+// ends it — and ending a connection is what triggers the enforcer's
+// EndFlow, deleting the flow's cached verdict the moment the connection
+// dies instead of leaving it to TTL or eviction pressure. Before the
+// transport layer existed the gateway approximated this by peeking at
+// "Connection: close" inside the HTTP payload; that peek survives only as
+// the fallback for legacy plain payloads (see Network.serveOne).
+//
+// Only connection events touch the table: data segments (no SYN/FIN/RST)
+// return without taking the lock, so the per-packet cost on the hot path
+// is one transport peek. UDP is connectionless and deliberately
+// untracked — its flow-cache entries age out via TTL, matching how real
+// conntrack expires UDP by timeout.
+type Conntrack struct {
+	mu   sync.Mutex
+	open map[conntrackKey]struct{}
+
+	established uint64
+	closed      uint64
+}
+
+// conntrackKey identifies a TCP connection at the gateway. The protocol
+// is implicitly TCP — nothing else is tracked.
+type conntrackKey struct {
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+}
+
+// ConntrackStats snapshots the tracker.
+type ConntrackStats struct {
+	// Established counts connections opened (SYN observed on an accepted
+	// packet).
+	Established uint64
+	// Closed counts connections ended (FIN or RST observed).
+	Closed uint64
+	// Open is the number of connections currently tracked.
+	Open int
+}
+
+// maxTracked bounds the open-connection map. Teardown does not depend on
+// an entry being present (a FIN/RST always fires EndFlow), so the table
+// exists for stats and double-SYN dedup only — but without a bound, any
+// connection whose SYN was accepted and whose FIN is later dropped (a
+// policy swap mid-connection, an app error path that never calls Finish)
+// would leak its entry forever. At the cap an arbitrary entry is evicted,
+// mirroring real nf_conntrack's table-full behaviour.
+const maxTracked = 65536
+
+// NewConntrack builds an empty tracker.
+func NewConntrack() *Conntrack {
+	return &Conntrack{open: make(map[conntrackKey]struct{})}
+}
+
+// Observe updates connection state for one accepted packet and reports
+// whether the packet ended its connection — the caller's cue to tear the
+// flow's cached verdict down. Packets without a transport header (legacy
+// payloads, non-first fragments) and UDP datagrams are ignored.
+func (ct *Conntrack) Observe(pkt *ipv4.Packet) (connClosed bool) {
+	info, ok := transport.PeekPacket(pkt)
+	if !ok || info.Proto != ipv4.ProtoTCP {
+		return false
+	}
+	if info.Flags&(transport.FlagSYN|transport.FlagFIN|transport.FlagRST) == 0 {
+		return false // data segment: no lifecycle event, no lock
+	}
+	k := conntrackKey{
+		src: pkt.Header.Src, dst: pkt.Header.Dst,
+		srcPort: info.SrcPort, dstPort: info.DstPort,
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if info.Flags&(transport.FlagFIN|transport.FlagRST) != 0 {
+		// FIN and RST both end the flow; a connection picked up mid-stream
+		// (no tracked SYN — the gateway restarted, or the SYN predates it)
+		// still counts as closed so teardown always fires.
+		delete(ct.open, k)
+		ct.closed++
+		return true
+	}
+	if _, dup := ct.open[k]; !dup {
+		if len(ct.open) >= maxTracked {
+			for victim := range ct.open {
+				delete(ct.open, victim)
+				break
+			}
+		}
+		ct.open[k] = struct{}{}
+		ct.established++
+	}
+	return false
+}
+
+// Stats snapshots the tracker's counters.
+func (ct *Conntrack) Stats() ConntrackStats {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ConntrackStats{
+		Established: ct.established,
+		Closed:      ct.closed,
+		Open:        len(ct.open),
+	}
+}

@@ -28,6 +28,10 @@ type Gateway struct {
 	nf        *kernel.Netfilter
 	enforcer  *enforcer.Enforcer
 	sanitizer *sanitizer.Sanitizer
+	// ct tracks TCP connection state on accepted packets: SYN establishes,
+	// FIN/RST ends the connection and tears down the flow's cached verdict
+	// through the enforcer.
+	ct *Conntrack
 	// workers sizes the ProcessBatch worker pool (≤0 = GOMAXPROCS).
 	workers int
 	// passthrough models config (iii) of Fig. 4: a reader that consumes
@@ -59,6 +63,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		nf:          kernel.NewNetfilter(),
 		enforcer:    cfg.Enforcer,
 		sanitizer:   cfg.Sanitizer,
+		ct:          NewConntrack(),
 		workers:     cfg.Workers,
 		passthrough: cfg.Passthrough,
 	}
@@ -142,10 +147,26 @@ func (g *Gateway) HasSanitizer() bool { return g.sanitizer != nil }
 // user-space queue reader they model.
 func (g *Gateway) Process(pkt *ipv4.Packet) (*ipv4.Packet, *enforcer.Result, error) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.lastResult = nil
 	out, err := g.nf.Output(pkt)
-	return out, g.lastResult, err
+	res := g.lastResult
+	g.mu.Unlock()
+	if out != nil {
+		g.observeConn(pkt)
+	}
+	return out, res, err
+}
+
+// observeConn feeds one accepted packet to the conntrack; a FIN/RST tears
+// the flow's cached verdict down through the enforcer. The original
+// (still-tagged) packet is used, not the sanitized output — teardown keys
+// on the same (5-tuple, tag bytes) the cache does. Dropped packets never
+// reach it, so a denied flow's cached drop verdict deliberately survives
+// its FIN: repeat offenders stay cheap to block.
+func (g *Gateway) observeConn(pkt *ipv4.Packet) {
+	if g.ct.Observe(pkt) && g.enforcer != nil {
+		g.enforcer.EndFlow(pkt)
+	}
 }
 
 // BatchOutcome is the fate of one packet in a ProcessBatch drain.
@@ -170,16 +191,27 @@ func (g *Gateway) ProcessBatch(pkts []*ipv4.Packet) ([]BatchOutcome, error) {
 		if r, ok := res[i].Aux.(*enforcer.Result); ok {
 			out[i].Result = r
 		}
+		// Connection lifecycle after the drain, in burst order: a FIN at
+		// the end of a keep-alive train tears the flow down only after
+		// its data packets were answered from the cache.
+		if res[i].Out != nil {
+			g.observeConn(pkts[i])
+		}
 	}
 	return out, err
 }
 
-// CloseFlow tells the enforcement stage a connection has ended (the
-// conntrack analogue of seeing the flow close), so its cached verdict is
-// torn down immediately instead of lingering until TTL or eviction. pkt is
-// any packet of the flow still carrying its tag — teardown keys on the
-// same (endpoints, proto, tag bytes) tuple the cache does. Reports whether
-// a cached verdict was removed.
+// Conntrack snapshots the gateway's connection tracker.
+func (g *Gateway) Conntrack() ConntrackStats { return g.ct.Stats() }
+
+// CloseFlow tells the enforcement stage a connection has ended, so its
+// cached verdict is torn down immediately instead of lingering until TTL
+// or eviction. Transport-era flows never need it — the gateway's
+// conntrack calls EndFlow itself when it sees a FIN/RST — so this remains
+// only for the network's legacy-payload fallback ("Connection: close"
+// observed at the server). pkt is any packet of the flow still carrying
+// its tag — teardown keys on the same (5-tuple, tag bytes) the cache
+// does. Reports whether a cached verdict was removed.
 func (g *Gateway) CloseFlow(pkt *ipv4.Packet) bool {
 	if g.enforcer == nil {
 		return false

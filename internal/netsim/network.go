@@ -16,6 +16,7 @@ import (
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/httpsim"
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/transport"
 )
 
 // NICMode is the emulator's network interface mode.
@@ -72,14 +73,18 @@ func (s DropStage) String() string {
 	}
 }
 
-// Server is a network endpoint handling HTTP-ish requests.
+// Server is a network endpoint handling HTTP requests (over TCP segments
+// or legacy plain payloads) and/or UDP datagrams.
 type Server struct {
 	// Addr is the server's IPv4 address.
 	Addr netip.Addr
 	// Name is the DNS name(s) it serves, for reporting.
 	Name string
-	// Handler produces responses.
+	// Handler produces HTTP responses.
 	Handler httpsim.Handler
+	// UDPHandler answers UDP datagrams (e.g. dns.ZoneHandler serving a
+	// zone); the returned bytes become Delivery.Datagram (nil = no reply).
+	UDPHandler func(payload []byte) []byte
 	// Internal servers sit inside the corporate perimeter: traffic to them
 	// passes the gateway but not the RFC 7126 border router.
 	Internal bool
@@ -216,6 +221,9 @@ type Delivery struct {
 	Enforcement *enforcer.Result
 	// Response is the server's reply (nil when dropped or non-HTTP).
 	Response *httpsim.Response
+	// Datagram is the server's UDP reply (a DNS answer, typically); nil
+	// when the packet carried no datagram or the server has no UDPHandler.
+	Datagram []byte
 	// Latency is the virtual one-way + response time charged.
 	Latency time.Duration
 }
@@ -266,9 +274,12 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 	if d.Delivered && !skipGateway && n.Gateway != nil && n.Gateway.Active() {
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
 		if closed {
-			// The connection announced its end: tear the flow's cached
-			// verdict down now (the sanitized copy lost its tag, so the
-			// teardown keys on the original device-egress packet).
+			// Legacy-payload fallback only: a plain-HTTP connection
+			// announced its end via "Connection: close", so tear the
+			// flow's cached verdict down (the sanitized copy lost its
+			// tag, so the teardown keys on the original device-egress
+			// packet). Transport flows never reach here — the gateway's
+			// conntrack already handled their FIN/RST.
 			n.Gateway.CloseFlow(pkt)
 		}
 	}
@@ -278,10 +289,15 @@ func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
 
 // serveOne is the post-gateway delivery tail shared by the scalar and
 // batch paths: post-gateway capture, route lookup, RFC 7126 border
-// filtering, wire/server virtual-time charges, and the HTTP response. It
-// fills d's Delivered, Stage and Response, and reports whether the served
-// request announced the end of its connection ("Connection: close") — the
-// signal the gateway uses to tear down the flow's cached verdict.
+// filtering, wire/server virtual-time charges, and the application
+// response. Packets carrying a transport header are served through it —
+// HTTP requests out of TCP data segments (control segments deliver with
+// no response), UDP datagrams through the server's UDPHandler. Flow
+// lifecycle for those is the gateway conntrack's job, so connClosed is
+// always false for them. Legacy plain payloads keep the pre-transport
+// behaviour: the HTTP request is parsed straight out of the IPv4 payload
+// and connClosed reports its "Connection: close" — the fallback signal
+// the network still uses to tear down legacy flows.
 func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) (connClosed bool) {
 	n.captureAt(CapturePostGateway, cur)
 
@@ -302,20 +318,62 @@ func (n *Network) serveOne(cur *ipv4.Packet, d *Delivery) (connClosed bool) {
 	}
 
 	n.Clock.Advance(n.Model.WireRTT / 2)
-	if req, err := httpsim.ParseRequest(cur.Payload); err == nil {
-		n.Clock.Advance(n.Model.ServerProcessing)
-		srv.mu.Lock()
-		srv.requests++
-		srv.rxBytes += uint64(len(req.Body))
-		srv.mu.Unlock()
-		if srv.Handler != nil {
-			d.Response = srv.Handler(req)
+	served := false
+	if info, ok := transport.PeekPacket(cur); ok {
+		switch info.Proto {
+		case ipv4.ProtoTCP:
+			// Full validation (checksum included) before trusting the
+			// payload; a segment that fails it falls back to the legacy
+			// parse below.
+			if seg, err := transport.ParseTCP(cur.Payload); err == nil {
+				served = true
+				if len(seg.Payload) > 0 {
+					if req, err := httpsim.ParseRequest(seg.Payload); err == nil {
+						n.serveRequest(srv, req, d)
+					}
+				}
+				// SYN/FIN/RST carry no request: delivered, nothing served.
+			}
+		case ipv4.ProtoUDP:
+			if dg, err := transport.ParseUDP(cur.Payload); err == nil {
+				served = true
+				n.chargeServer(srv, len(dg.Payload))
+				if srv.UDPHandler != nil {
+					d.Datagram = srv.UDPHandler(dg.Payload)
+				}
+			}
 		}
-		connClosed = !req.KeepAlive
+	}
+	if !served {
+		// Legacy plain payload: HTTP straight in the IPv4 payload, flow
+		// teardown driven by the application-layer close announcement.
+		if req, err := httpsim.ParseRequest(cur.Payload); err == nil {
+			n.serveRequest(srv, req, d)
+			connClosed = !req.KeepAlive
+		}
 	}
 	n.Clock.Advance(n.Model.WireRTT / 2)
 	d.Delivered = true
 	return connClosed
+}
+
+// chargeServer advances server virtual time and counts one request of
+// rxBytes received body bytes — shared by the HTTP and UDP serve paths.
+func (n *Network) chargeServer(srv *Server, rxBytes int) {
+	n.Clock.Advance(n.Model.ServerProcessing)
+	srv.mu.Lock()
+	srv.requests++
+	srv.rxBytes += uint64(rxBytes)
+	srv.mu.Unlock()
+}
+
+// serveRequest charges server time, counts the request, and produces the
+// HTTP response.
+func (n *Network) serveRequest(srv *Server, req *httpsim.Request, d *Delivery) {
+	n.chargeServer(srv, len(req.Body))
+	if srv.Handler != nil {
+		d.Response = srv.Handler(req)
+	}
 }
 
 // DeliverBatch pushes a burst of device-egress packets through the
@@ -370,8 +428,8 @@ func (n *Network) DeliverBatch(pkts []*ipv4.Packet) []Delivery {
 			continue
 		}
 		if n.serveOne(o.Out, &out[i]) && gatewayOn {
-			// Same teardown as the scalar path, keyed on the still-tagged
-			// device-egress packet.
+			// Legacy-payload teardown, as on the scalar path, keyed on the
+			// still-tagged device-egress packet.
 			n.Gateway.CloseFlow(pkts[i])
 		}
 	}

@@ -78,9 +78,15 @@ func (st *Stack) snapshotHooks() []ConnectHook {
 }
 
 // JavaSocket mirrors java.net.Socket: constructing it does NOT create an
-// OS socket; Connect does (lazy initialization).
+// OS socket; Connect does (lazy initialization). A socket built with
+// NewDatagramSocket mirrors java.net.DatagramSocket instead: the same
+// lazy lifecycle and the same post-connect hooks (so the Context Manager
+// tags UDP flows exactly like TCP ones), but payloads ride in UDP
+// datagrams and there is no connection handshake.
 type JavaSocket struct {
 	stack *Stack
+	// proto is the transport protocol (ipv4.ProtoTCP or ipv4.ProtoUDP).
+	proto byte
 	mu    sync.Mutex
 	// fd is -1 until the lazy socket(2) call.
 	fd        int
@@ -98,7 +104,13 @@ type JavaSocket struct {
 
 // NewJavaSocket mirrors `new java.net.Socket()`: no OS socket yet.
 func (st *Stack) NewJavaSocket(ownerUID int) *JavaSocket {
-	return &JavaSocket{stack: st, fd: -1, OwnerUID: ownerUID}
+	return &JavaSocket{stack: st, fd: -1, proto: ipv4.ProtoTCP, OwnerUID: ownerUID}
+}
+
+// NewDatagramSocket mirrors `new java.net.DatagramSocket()` connected
+// usage: a UDP socket with the same lazy creation and hook semantics.
+func (st *Stack) NewDatagramSocket(ownerUID int) *JavaSocket {
+	return &JavaSocket{stack: st, fd: -1, proto: ipv4.ProtoUDP, OwnerUID: ownerUID}
 }
 
 // FD returns the OS file descriptor, or -1 before the lazy socket call.
@@ -144,7 +156,7 @@ func (s *JavaSocket) Connect(remote netip.AddrPort) error {
 		return kernel.ErrIsConnected
 	}
 	if s.fd < 0 {
-		s.fd = s.stack.kern.Socket(s.OwnerUID, ipv4.ProtoTCP)
+		s.fd = s.stack.kern.Socket(s.OwnerUID, s.proto)
 	}
 	local := netip.AddrPortFrom(s.stack.localAddr, s.stack.allocPort())
 	if err := s.stack.kern.Connect(s.fd, local, remote); err != nil {
@@ -162,9 +174,45 @@ func (s *JavaSocket) Connect(remote netip.AddrPort) error {
 	return nil
 }
 
+// Handshake emits the connection-opening SYN for a connected TCP socket
+// (tagged — the hooks have already run by the time Connect returns). It
+// returns (nil, nil) for UDP sockets and on kernels in legacy RawPayloads
+// mode, so callers can append the result unconditionally when non-nil.
+func (s *JavaSocket) Handshake() (*ipv4.Packet, error) {
+	fd, err := s.liveFD()
+	if err != nil {
+		return nil, err
+	}
+	return s.stack.kern.Handshake(fd)
+}
+
+// Finish emits the connection-closing FIN for a connected TCP socket; the
+// caller still Closes the socket afterwards. Like Handshake it returns
+// (nil, nil) when there is nothing to emit.
+func (s *JavaSocket) Finish() (*ipv4.Packet, error) {
+	fd, err := s.liveFD()
+	if err != nil {
+		return nil, err
+	}
+	return s.stack.kern.Shutdown(fd)
+}
+
+func (s *JavaSocket) liveFD() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return -1, ErrClosed
+	}
+	if !s.connected {
+		return -1, ErrNotConnected
+	}
+	return s.fd, nil
+}
+
 // Send writes a payload to the connected socket; the kernel builds the
-// packet (stamping the socket's IP options) and runs netfilter. The
-// resulting wire packet is returned (nil if a filter dropped it).
+// packet (wrapping the payload in the socket's transport header and
+// stamping the socket's IP options) and runs netfilter. The resulting
+// wire packet is returned (nil if a filter dropped it).
 func (s *JavaSocket) Send(payload []byte) (*ipv4.Packet, error) {
 	s.mu.Lock()
 	if s.closed {

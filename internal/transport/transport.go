@@ -1,0 +1,295 @@
+// Package transport implements the wire-format transport layer riding in
+// ipv4.Packet.Payload: a TCP segment model (real ports, sequence numbers
+// and SYN/ACK/FIN/RST control flags) and a UDP datagram model. It is the
+// layer Poise ("Programmable In-Network Security for Context-aware BYOD
+// Policies") keys per-flow context state on in the switch dataplane, and
+// the layer that lets this simulator's gateway key its flow table on full
+// 5-tuples and drive flow lifecycle from connection state instead of
+// peeking at application headers.
+//
+// Two access paths are provided, matching the two places the gateway
+// touches transport headers:
+//
+//   - ParseTCP/ParseUDP fully validate a header (lengths, checksum) and
+//     materialize the segment — the server side of the simulator uses
+//     these before handing the application payload up the stack.
+//   - Peek/PeekPacket are the zero-allocation per-packet path: a handful
+//     of structural checks (header length, data offset, reserved bits,
+//     flag mask, UDP length consistency) that extract the ports and TCP
+//     flags without touching the payload bytes. The enforcer's flow-key
+//     construction and the gateway's conntrack run on every packet, so
+//     they must not pay a checksum walk over the payload.
+//
+// Checksums are the Internet checksum (RFC 1071) over the whole segment
+// or datagram with the checksum field zeroed. The IPv4 pseudo-header is
+// deliberately left out of the sum: the simulator's packets never cross a
+// NAT that would rewrite addresses under the transport layer, and keeping
+// the checksum self-contained lets a segment be validated without its
+// enclosing packet.
+//
+// Fragmentation interplay: only the first IPv4 fragment (FragOff == 0)
+// carries the transport header; non-first fragments hold a payload slice
+// starting mid-stream. PeekPacket refuses non-first fragments so flow
+// keying can never read garbage ports out of fragment data.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"borderpatrol/internal/ipv4"
+)
+
+// TCP control flags (the low bits of header byte 13).
+const (
+	// FlagFIN signals the sender is done: the gateway's conntrack tears
+	// the flow down when it sees one.
+	FlagFIN = 0x01
+	// FlagSYN opens a connection.
+	FlagSYN = 0x02
+	// FlagRST aborts a connection (tears down like FIN).
+	FlagRST = 0x04
+	// FlagPSH marks data segments.
+	FlagPSH = 0x08
+	// FlagACK acknowledges; set on every segment after the initial SYN.
+	FlagACK = 0x10
+
+	// flagMask is every flag this model emits. Peek rejects anything
+	// outside it, which is also what keeps legacy plain-HTTP payloads
+	// (ASCII bytes ≥ 0x20 in the flag position) from masquerading as
+	// segments.
+	flagMask = FlagFIN | FlagSYN | FlagRST | FlagPSH | FlagACK
+)
+
+// Header lengths. The TCP model always emits a 20-byte option-free header
+// (data offset 5), which is also what Peek requires.
+const (
+	TCPHeaderLen = 20
+	UDPHeaderLen = 8
+
+	// MaxUDPPayload is the largest payload a UDP datagram can carry: the
+	// 16-bit length field covers header + payload. Marshal on a larger
+	// payload would wrap the field into a datagram its own parser
+	// rejects, so senders (kernel.Send) must refuse oversized payloads
+	// up front — the EMSGSIZE a real sendto(2) returns.
+	MaxUDPPayload = 0xffff - UDPHeaderLen
+)
+
+// Errors produced by parsing.
+var (
+	ErrShortSegment = errors.New("transport: segment shorter than its header")
+	ErrBadOffset    = errors.New("transport: unsupported TCP data offset")
+	ErrBadFlags     = errors.New("transport: reserved or unknown TCP flags set")
+	ErrBadChecksum  = errors.New("transport: checksum mismatch")
+	ErrBadLength    = errors.New("transport: UDP length field inconsistent")
+)
+
+// checksumIgnoring computes the Internet checksum over b with the 16-bit
+// field at off treated as zero. Parsers compare the result to the stored
+// field for exact equality — unlike the "whole buffer sums to zero" trick,
+// this cannot alias 0x0000 and 0xffff stored values, so marshal ∘ parse
+// is byte-identical on every accepted input (the fuzz invariant).
+func checksumIgnoring(b []byte, off int) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == off {
+			continue
+		}
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCPSegment is a parsed TCP segment. Ack is carried for wire fidelity;
+// the simulator models the outbound half of each connection, so it stays
+// zero on generated traffic.
+type TCPSegment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Window           uint16
+	Payload          []byte
+}
+
+// Marshal renders the segment in wire form with a correct checksum.
+func (s *TCPSegment) Marshal() []byte {
+	buf := make([]byte, TCPHeaderLen+len(s.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], s.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], s.Ack)
+	buf[12] = (TCPHeaderLen / 4) << 4
+	buf[13] = s.Flags & flagMask
+	binary.BigEndian.PutUint16(buf[14:16], s.Window)
+	// buf[18:20] (urgent pointer) stays zero; we never emit URG.
+	copy(buf[TCPHeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(buf[16:18], checksumIgnoring(buf, 16))
+	return buf
+}
+
+// ParseTCP parses and fully validates a wire-form TCP segment.
+func ParseTCP(b []byte) (*TCPSegment, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortSegment, len(b))
+	}
+	if off := int(b[12]>>4) * 4; off != TCPHeaderLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadOffset, off)
+	}
+	if b[12]&0x0f != 0 || b[13]&^flagMask != 0 {
+		return nil, fmt.Errorf("%w: offset byte %#02x flags %#02x", ErrBadFlags, b[12], b[13])
+	}
+	if b[18] != 0 || b[19] != 0 {
+		return nil, fmt.Errorf("%w: urgent pointer set", ErrBadFlags)
+	}
+	if got := binary.BigEndian.Uint16(b[16:18]); got != checksumIgnoring(b, 16) {
+		return nil, ErrBadChecksum
+	}
+	return &TCPSegment{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Payload: append([]byte(nil), b[TCPHeaderLen:]...),
+	}, nil
+}
+
+// UDPDatagram is a parsed UDP datagram.
+type UDPDatagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Marshal renders the datagram in wire form with a correct length field
+// and checksum.
+func (d *UDPDatagram) Marshal() []byte {
+	buf := make([]byte, UDPHeaderLen+len(d.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], d.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], d.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	copy(buf[UDPHeaderLen:], d.Payload)
+	binary.BigEndian.PutUint16(buf[6:8], checksumIgnoring(buf, 6))
+	return buf
+}
+
+// ParseUDP parses and fully validates a wire-form UDP datagram.
+func ParseUDP(b []byte) (*UDPDatagram, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortSegment, len(b))
+	}
+	if int(binary.BigEndian.Uint16(b[4:6])) != len(b) {
+		return nil, fmt.Errorf("%w: field %d, datagram %d",
+			ErrBadLength, binary.BigEndian.Uint16(b[4:6]), len(b))
+	}
+	if got := binary.BigEndian.Uint16(b[6:8]); got != checksumIgnoring(b, 6) {
+		return nil, ErrBadChecksum
+	}
+	return &UDPDatagram{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: append([]byte(nil), b[UDPHeaderLen:]...),
+	}, nil
+}
+
+// Info is the zero-allocation transport summary handed down the gateway's
+// per-packet paths: enough for flow keying (ports) and connection
+// lifecycle tracking (TCP flags) without materializing the segment.
+type Info struct {
+	// Proto is ipv4.ProtoTCP or ipv4.ProtoUDP.
+	Proto byte
+	// SrcPort and DstPort complete the flow 5-tuple.
+	SrcPort, DstPort uint16
+	// Flags are the TCP control flags (zero for UDP).
+	Flags byte
+	// DataOff is where the application payload starts within the IPv4
+	// payload.
+	DataOff int
+}
+
+// Peek extracts transport Info from an IPv4 payload using structural
+// checks only — no checksum walk, no allocation. It reports false for
+// anything that does not look like a header this model emits, which in
+// particular covers legacy plain-HTTP payloads: their ASCII bytes fail
+// the data-offset/reserved-bits check (TCP) or the length-field check
+// (UDP), so callers fall back to treating the payload as opaque
+// application data. Ports must be nonzero — the kernel never binds port
+// 0, and requiring it rejects further junk.
+func Peek(proto byte, b []byte) (Info, bool) {
+	switch proto {
+	case ipv4.ProtoTCP:
+		if len(b) < TCPHeaderLen || b[12] != (TCPHeaderLen/4)<<4 {
+			return Info{}, false
+		}
+		flags := b[13]
+		if flags == 0 || flags&^flagMask != 0 {
+			return Info{}, false
+		}
+		sp := binary.BigEndian.Uint16(b[0:2])
+		dp := binary.BigEndian.Uint16(b[2:4])
+		if sp == 0 || dp == 0 {
+			return Info{}, false
+		}
+		return Info{Proto: proto, SrcPort: sp, DstPort: dp, Flags: flags, DataOff: TCPHeaderLen}, true
+	case ipv4.ProtoUDP:
+		if len(b) < UDPHeaderLen || int(binary.BigEndian.Uint16(b[4:6])) != len(b) {
+			return Info{}, false
+		}
+		sp := binary.BigEndian.Uint16(b[0:2])
+		dp := binary.BigEndian.Uint16(b[2:4])
+		if sp == 0 || dp == 0 {
+			return Info{}, false
+		}
+		return Info{Proto: proto, SrcPort: sp, DstPort: dp, DataOff: UDPHeaderLen}, true
+	default:
+		return Info{}, false
+	}
+}
+
+// PeekPorts is the hot-path subset of Peek: just the structural checks
+// needed to trust the two port fields, written tightly enough for the
+// compiler to inline into per-packet loops (the enforcer builds a flow
+// key for every packet, and a non-inlined call plus an Info copy costs
+// more than the whole lookup saves). fragOff must be the packet's
+// fragment offset — non-first fragments carry payload bytes where the
+// header would be and must never yield ports. Semantics match Peek: any
+// payload Peek rejects, PeekPorts rejects.
+func PeekPorts(proto byte, fragOff uint16, b []byte) (sp, dp uint16, ok bool) {
+	if fragOff != 0 || len(b) < UDPHeaderLen {
+		return 0, 0, false
+	}
+	sp = uint16(b[0])<<8 | uint16(b[1])
+	dp = uint16(b[2])<<8 | uint16(b[3])
+	if sp == 0 || dp == 0 {
+		return 0, 0, false
+	}
+	if proto == ipv4.ProtoTCP {
+		ok = len(b) >= TCPHeaderLen && b[12] == (TCPHeaderLen/4)<<4 &&
+			b[13] != 0 && b[13]&^flagMask == 0
+		return sp, dp, ok
+	}
+	if proto == ipv4.ProtoUDP {
+		ok = int(b[4])<<8|int(b[5]) == len(b)
+		return sp, dp, ok
+	}
+	return 0, 0, false
+}
+
+// PeekPacket is Peek over a whole packet, refusing non-first fragments:
+// a fragment with FragOff > 0 carries mid-stream payload bytes where the
+// header would be, and flow keying must not read ports out of them. The
+// first fragment (FragOff == 0, MF set) does carry the real header and
+// peeks normally.
+func PeekPacket(pkt *ipv4.Packet) (Info, bool) {
+	if pkt.Header.FragOff != 0 {
+		return Info{}, false
+	}
+	return Peek(pkt.Header.Protocol, pkt.Payload)
+}

@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"borderpatrol/internal/httpsim"
+	"borderpatrol/internal/ipv4"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	seg := &TCPSegment{
+		SrcPort: 40001, DstPort: 443,
+		Seq: 0x01020304, Ack: 0,
+		Flags:  FlagPSH | FlagACK,
+		Window: 65535,
+		Payload: []byte("GET / HTTP/1.1\r\nHost: example\r\n" +
+			"Connection: close\r\nContent-Length: 0\r\n\r\n"),
+	}
+	wire := seg.Marshal()
+	back, err := ParseTCP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SrcPort != seg.SrcPort || back.DstPort != seg.DstPort ||
+		back.Seq != seg.Seq || back.Flags != seg.Flags || back.Window != seg.Window {
+		t.Fatalf("header round trip: %+v vs %+v", back, seg)
+	}
+	if !bytes.Equal(back.Payload, seg.Payload) {
+		t.Fatal("payload round trip lost bytes")
+	}
+	// marshal ∘ parse is byte-identical.
+	if !bytes.Equal(back.Marshal(), wire) {
+		t.Fatal("re-marshal differs from original wire form")
+	}
+}
+
+func TestTCPControlSegments(t *testing.T) {
+	for _, flags := range []byte{FlagSYN, FlagFIN | FlagACK, FlagRST} {
+		seg := &TCPSegment{SrcPort: 40000, DstPort: 80, Seq: 7, Flags: flags, Window: 65535}
+		back, err := ParseTCP(seg.Marshal())
+		if err != nil {
+			t.Fatalf("flags %#02x: %v", flags, err)
+		}
+		if back.Flags != flags || len(back.Payload) != 0 {
+			t.Fatalf("flags %#02x: parsed %+v", flags, back)
+		}
+	}
+}
+
+func TestTCPParseErrors(t *testing.T) {
+	seg := &TCPSegment{SrcPort: 1, DstPort: 2, Flags: FlagSYN}
+	wire := seg.Marshal()
+
+	if _, err := ParseTCP(wire[:10]); !errors.Is(err, ErrShortSegment) {
+		t.Fatalf("short: %v", err)
+	}
+	bad := append([]byte(nil), wire...)
+	bad[12] = 0x60 // data offset 6: options we never emit
+	if _, err := ParseTCP(bad); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("offset: %v", err)
+	}
+	bad = append([]byte(nil), wire...)
+	bad[13] |= 0x40 // reserved flag bit
+	if _, err := ParseTCP(bad); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("flags: %v", err)
+	}
+	bad = append([]byte(nil), wire...)
+	bad[4] ^= 0xff // corrupt seq without fixing the checksum
+	if _, err := ParseTCP(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("checksum: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	d := &UDPDatagram{SrcPort: 40002, DstPort: 53, Payload: []byte("query-bytes")}
+	wire := d.Marshal()
+	back, err := ParseUDP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SrcPort != d.SrcPort || back.DstPort != d.DstPort || !bytes.Equal(back.Payload, d.Payload) {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if !bytes.Equal(back.Marshal(), wire) {
+		t.Fatal("re-marshal differs")
+	}
+}
+
+func TestUDPParseErrors(t *testing.T) {
+	d := &UDPDatagram{SrcPort: 9, DstPort: 53, Payload: []byte("x")}
+	wire := d.Marshal()
+	if _, err := ParseUDP(wire[:4]); !errors.Is(err, ErrShortSegment) {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := ParseUDP(wire[:UDPHeaderLen]); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), wire...)
+	bad[UDPHeaderLen] ^= 0xff
+	if _, err := ParseUDP(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("checksum: %v", err)
+	}
+}
+
+func TestPeekExtractsPortsAndFlags(t *testing.T) {
+	seg := &TCPSegment{SrcPort: 41000, DstPort: 8000, Seq: 3, Flags: FlagFIN | FlagACK, Window: 100}
+	info, ok := Peek(ipv4.ProtoTCP, seg.Marshal())
+	if !ok || info.SrcPort != 41000 || info.DstPort != 8000 ||
+		info.Flags != FlagFIN|FlagACK || info.DataOff != TCPHeaderLen {
+		t.Fatalf("tcp peek: %+v ok=%v", info, ok)
+	}
+	d := &UDPDatagram{SrcPort: 41001, DstPort: 53, Payload: []byte("q")}
+	info, ok = Peek(ipv4.ProtoUDP, d.Marshal())
+	if !ok || info.SrcPort != 41001 || info.DstPort != 53 || info.DataOff != UDPHeaderLen {
+		t.Fatalf("udp peek: %+v ok=%v", info, ok)
+	}
+}
+
+// TestPeekRejectsLegacyPayloads: plain HTTP riding directly in the IPv4
+// payload (the pre-transport wire format, kept as a fallback) must never
+// be mistaken for a TCP segment — flow keys would pick up garbage ports.
+func TestPeekRejectsLegacyPayloads(t *testing.T) {
+	legacy := [][]byte{
+		(&httpsim.Request{Method: "GET", Path: "/", Host: "example"}).Marshal(),
+		(&httpsim.Request{Method: "POST", Path: "/api/2.0/files/content", KeepAlive: true, Body: make([]byte, 512)}).Marshal(),
+		(&httpsim.Request{Method: "PUT", Path: "/2/files/upload", Body: make([]byte, 64)}).Marshal(),
+		[]byte("POST /x HTTP/1.1\r\n\r\n"),
+		[]byte("short"),
+		nil,
+	}
+	for i, payload := range legacy {
+		if info, ok := Peek(ipv4.ProtoTCP, payload); ok {
+			t.Fatalf("legacy payload %d peeked as TCP: %+v", i, info)
+		}
+		if info, ok := Peek(ipv4.ProtoUDP, payload); ok {
+			t.Fatalf("legacy payload %d peeked as UDP: %+v", i, info)
+		}
+	}
+}
+
+func TestPeekRejectsZeroPorts(t *testing.T) {
+	seg := &TCPSegment{SrcPort: 0, DstPort: 80, Flags: FlagSYN}
+	if _, ok := Peek(ipv4.ProtoTCP, seg.Marshal()); ok {
+		t.Fatal("zero source port accepted")
+	}
+	d := &UDPDatagram{SrcPort: 4000, DstPort: 0}
+	if _, ok := Peek(ipv4.ProtoUDP, d.Marshal()); ok {
+		t.Fatal("zero destination port accepted")
+	}
+}
+
+// TestFragmentationInterplay covers the ipv4 interaction end to end: a
+// packet carrying a TCP segment is fragmented and reassembled with a
+// byte-identical transport payload; only the first fragment peeks as
+// transport (real header), and non-first fragments must not be flow-keyed
+// off garbage bytes.
+func TestFragmentationInterplay(t *testing.T) {
+	seg := &TCPSegment{
+		SrcPort: 40123, DstPort: 443,
+		Seq: 1, Flags: FlagPSH | FlagACK, Window: 65535,
+		Payload: bytes.Repeat([]byte("0123456789abcdef"), 256), // 4 KiB
+	}
+	pkt := &ipv4.Packet{
+		Header: ipv4.Header{
+			ID: 7, TTL: 64, Protocol: ipv4.ProtoTCP,
+			Src: netip.MustParseAddr("10.66.0.2"),
+			Dst: netip.MustParseAddr("93.184.216.34"),
+		},
+		Payload: seg.Marshal(),
+	}
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{0xbe, 0xef}})
+
+	frags, err := ipv4.Fragment(pkt, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("got %d fragments, want >= 3", len(frags))
+	}
+
+	// Only the first fragment carries the transport header.
+	if info, ok := PeekPacket(frags[0]); !ok || info.SrcPort != 40123 || info.DstPort != 443 {
+		t.Fatalf("first fragment peek: %+v ok=%v", info, ok)
+	}
+	for i, f := range frags[1:] {
+		if info, ok := PeekPacket(f); ok {
+			t.Fatalf("non-first fragment %d peeked garbage ports: %+v", i+1, info)
+		}
+	}
+
+	// Reassembly restores the byte-identical transport payload.
+	back, err := ipv4.Reassemble(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reseg, err := ParseTCP(back.Payload)
+	if err != nil {
+		t.Fatalf("reassembled segment: %v", err)
+	}
+	if !bytes.Equal(reseg.Payload, seg.Payload) {
+		t.Fatal("transport payload not byte-identical after reassembly")
+	}
+	if reseg.SrcPort != seg.SrcPort || reseg.DstPort != seg.DstPort || reseg.Seq != seg.Seq {
+		t.Fatalf("reassembled header: %+v", reseg)
+	}
+}
+
+func TestPeekAllocFree(t *testing.T) {
+	seg := (&TCPSegment{SrcPort: 40001, DstPort: 443, Flags: FlagPSH | FlagACK, Payload: []byte("data")}).Marshal()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := Peek(ipv4.ProtoTCP, seg); !ok {
+			t.Fatal("peek failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Peek allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPeekPortsMatchesPeek pins the hot-path port extractor to the full
+// structural peek: on every input shape — valid segments/datagrams,
+// legacy payloads, truncations, zero ports, wrong protocols — the two
+// must agree on acceptance and on the extracted ports.
+func TestPeekPortsMatchesPeek(t *testing.T) {
+	inputs := [][]byte{
+		(&TCPSegment{SrcPort: 40001, DstPort: 443, Flags: FlagPSH | FlagACK, Payload: []byte("data")}).Marshal(),
+		(&TCPSegment{SrcPort: 40001, DstPort: 443, Flags: FlagSYN}).Marshal(),
+		(&TCPSegment{SrcPort: 0, DstPort: 443, Flags: FlagSYN}).Marshal(),
+		(&UDPDatagram{SrcPort: 40002, DstPort: 53, Payload: []byte("q")}).Marshal(),
+		(&UDPDatagram{SrcPort: 40002, DstPort: 0}).Marshal(),
+		httpsimGET(), // legacy
+		[]byte("POST /x HTTP/1.1\r\n\r\n"),
+		[]byte("short"),
+		nil,
+	}
+	for _, proto := range []byte{ipv4.ProtoTCP, ipv4.ProtoUDP, 1 /* ICMP */} {
+		for i, b := range inputs {
+			info, wantOK := Peek(proto, b)
+			sp, dp, gotOK := PeekPorts(proto, 0, b)
+			if gotOK != wantOK {
+				t.Fatalf("proto %d input %d: PeekPorts ok=%v, Peek ok=%v", proto, i, gotOK, wantOK)
+			}
+			if gotOK && (sp != info.SrcPort || dp != info.DstPort) {
+				t.Fatalf("proto %d input %d: ports %d/%d vs %d/%d", proto, i, sp, dp, info.SrcPort, info.DstPort)
+			}
+			// Non-first fragments never yield ports.
+			if _, _, ok := PeekPorts(proto, 1, b); ok {
+				t.Fatalf("proto %d input %d: fragment yielded ports", proto, i)
+			}
+		}
+	}
+}
+
+func httpsimGET() []byte {
+	return []byte("GET / HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+}
