@@ -118,6 +118,35 @@ type PolicySource = policystore.Source
 // PolicyStoreStats snapshots a deployment's hot-reload policy store.
 type PolicyStoreStats = policystore.Stats
 
+// FailMode selects the degraded posture when the policy store cannot reach
+// a fresh policy past its staleness deadline: keep serving the last-good
+// rules (FailStatic), admit everything (FailOpen), or deny everything
+// (FailClosed). See DeploymentConfig.PolicyMaxStale.
+type FailMode = policystore.FailMode
+
+// Fail modes.
+const (
+	FailStatic = policystore.FailStatic
+	FailOpen   = policystore.FailOpen
+	FailClosed = policystore.FailClosed
+)
+
+// ParseFailMode parses a fail-mode name ("static", "open"/"fail-open",
+// "closed"/"fail-closed"); the empty string selects FailStatic.
+func ParseFailMode(s string) (FailMode, error) {
+	return policystore.ParseFailMode(s)
+}
+
+// FaultPlan is a deterministic, seeded wire-fault specification: per-packet
+// probabilities for drop, duplication, reordering, virtual-time delay,
+// payload corruption and truncation. Install one with Deployment.SetFaults
+// (or DeploymentConfig.Faults) to subject the network to chaos; the
+// zero-probability plan leaves the wire perfect.
+type FaultPlan = netsim.FaultPlan
+
+// FaultStats counts injected wire faults.
+type FaultStats = netsim.FaultStats
+
 // FilePolicySource watches a policy file: edits hot-swap atomically, a
 // malformed edit keeps the last-good rules serving.
 func FilePolicySource(path string) PolicySource {
@@ -162,8 +191,23 @@ type DeploymentConfig struct {
 	// last-good rules on any fetch or parse error.
 	PolicySource PolicySource
 	// PolicyPoll is the hot-reload poll interval when PolicySource is set;
-	// 0 disables background polling (ReloadPolicy still works).
+	// 0 disables background polling (ReloadPolicy still works). Successive
+	// polls are jittered ±20% so fleets don't thundering-herd the backend.
 	PolicyPoll time.Duration
+	// PolicyMaxStale is the staleness deadline: when the store has not seen
+	// a healthy reload cycle for longer than this (in the network's virtual
+	// time), it degrades the engine according to PolicyFailMode. Zero
+	// disables the deadline.
+	PolicyMaxStale time.Duration
+	// PolicyFailMode selects the degraded posture past PolicyMaxStale:
+	// FailStatic keeps the last-good rules serving (the default), FailOpen
+	// admits everything, FailClosed denies everything. Recovery is
+	// automatic on the next healthy reload.
+	PolicyFailMode FailMode
+	// Faults arms the network with a deterministic wire-fault plan at
+	// construction; nil leaves the wire perfect. SetFaults installs or
+	// replaces a plan later.
+	Faults *FaultPlan
 	// DefaultVerdict applies when no rule is decisive; zero value means
 	// VerdictAllow.
 	DefaultVerdict Verdict
@@ -250,13 +294,27 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		return nil, fmt.Errorf("borderpatrol: %w", err)
 	}
 
+	// The network comes up before the policy store so the store's staleness
+	// deadline can be measured on the same virtual clock everything else
+	// runs on.
+	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
+	if cfg.Faults != nil {
+		network.InstallFaults(*cfg.Faults)
+	}
+
 	var store *policystore.Store
 	if cfg.PolicySource != nil {
-		store, err = policystore.New(policystore.Config{
-			Source: cfg.PolicySource,
-			Engine: engine,
-			Poll:   cfg.PolicyPoll,
-		})
+		storeCfg := policystore.Config{
+			Source:   cfg.PolicySource,
+			Engine:   engine,
+			Poll:     cfg.PolicyPoll,
+			MaxStale: cfg.PolicyMaxStale,
+			FailMode: cfg.PolicyFailMode,
+		}
+		if cfg.PolicyMaxStale > 0 {
+			storeCfg.Now = network.Clock.Now
+		}
+		store, err = policystore.New(storeCfg)
 		if err != nil {
 			return nil, fmt.Errorf("borderpatrol: %w", err)
 		}
@@ -291,7 +349,6 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 
 	db := analyzer.NewDatabase()
-	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
 	auditLog := audit.NewWithConfig(audit.Config{
 		Writer:   cfg.AuditWriter,
 		TailCap:  256,
@@ -319,6 +376,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Enforcer:  enf,
 		Sanitizer: san,
 		Workers:   cfg.GatewayWorkers,
+		Clock:     network.Clock,
 	})
 
 	if store != nil {
@@ -405,6 +463,40 @@ func (d *Deployment) ReloadPolicy() (applied bool, err error) {
 // no PolicySource is configured).
 func (d *Deployment) PolicyStoreStats() PolicyStoreStats {
 	return d.policy.Stats()
+}
+
+// SetFaults installs (or replaces) a deterministic wire-fault plan on the
+// deployment's network. The plan applies to gateway-bound traffic; VPN and
+// mobile routes bypass it, like chaos injected on the corporate segment.
+func (d *Deployment) SetFaults(plan FaultPlan) {
+	d.network.InstallFaults(plan)
+}
+
+// ClearFaults restores the perfect wire (and the fault-free fast path).
+func (d *Deployment) ClearFaults() {
+	d.network.ClearFaults()
+}
+
+// FaultStats counts the faults injected so far (zero value when no plan
+// was ever installed).
+func (d *Deployment) FaultStats() FaultStats {
+	return d.network.FaultStats()
+}
+
+// RestartGateway models a gateway crash and reboot: the flow-verdict
+// cache, connection tracker and netfilter counters are discarded, so the
+// next packet of every live flow re-resolves through the full pipeline.
+// Control-plane state (policy engine, signature database) survives.
+func (d *Deployment) RestartGateway() {
+	d.network.Gateway.Restart()
+}
+
+// SweepIdle runs one garbage-collection sweep over the gateway's dataplane
+// tables: connections idle longer than idle leave the conntrack (their FIN
+// was lost), and TTL-expired flow-cache entries are reclaimed. Returns
+// what each sweep freed.
+func (d *Deployment) SweepIdle(idle time.Duration) (conns, flows int) {
+	return d.network.Gateway.GC(idle)
 }
 
 // Outcome reports what happened to one packet an app functionality sent.
@@ -533,6 +625,31 @@ type DeploymentStats struct {
 	// PolicyLastError describes the most recent rejected candidate (""
 	// after a clean reload).
 	PolicyLastError string
+	// PolicyDegraded reports whether the store is past its staleness
+	// deadline and a fail-open/fail-closed override is active;
+	// PolicyDegradedEnters counts how many times that happened, and
+	// PolicyDegradedHits counts packets decided by the override.
+	PolicyDegraded       bool
+	PolicyDegradedEnters uint64
+	PolicyDegradedHits   uint64
+	// PolicyLastGoodAge is how long ago the store last completed a healthy
+	// reload cycle (0 without a source).
+	PolicyLastGoodAge time.Duration
+	// ConnsTimeWait is the number of recently-closed connections parked in
+	// the conntrack's TIME_WAIT analogue; ConnsDupCloses counts duplicate
+	// FIN/RST deliveries absorbed there, ConnsLateSYNs counts SYNs that
+	// arrived for a connection still in TIME_WAIT (not resurrected), and
+	// ConnsIdleReclaimed counts half-open connections reclaimed by
+	// SweepIdle after their FIN was lost.
+	ConnsTimeWait      int
+	ConnsDupCloses     uint64
+	ConnsLateSYNs      uint64
+	ConnsIdleReclaimed uint64
+	// GatewayRestarts counts RestartGateway calls.
+	GatewayRestarts uint64
+	// WireFaults counts faults injected by the active FaultPlan (zero
+	// value when none was installed).
+	WireFaults FaultStats
 }
 
 // Stats snapshots counters across the Context Manager, Policy Enforcer and
@@ -569,6 +686,16 @@ func (d *Deployment) Stats() DeploymentStats {
 		PolicyReloadFailures: ps.Failures,
 		PolicyVersion:        ps.Version,
 		PolicyLastError:      ps.LastError,
+		PolicyDegraded:       ps.Degraded,
+		PolicyDegradedEnters: ps.DegradedEnters,
+		PolicyDegradedHits:   pe.DegradedHits,
+		PolicyLastGoodAge:    ps.LastGoodAge,
+		ConnsTimeWait:        ct.TimeWait,
+		ConnsDupCloses:       ct.DupCloses,
+		ConnsLateSYNs:        ct.LateSYNs,
+		ConnsIdleReclaimed:   ct.IdleReclaimed,
+		GatewayRestarts:      d.network.Gateway.Restarts(),
+		WireFaults:           d.network.FaultStats(),
 	}
 }
 
@@ -598,6 +725,12 @@ var (
 	// RunDNSResolution pushes tagged DNS-over-UDP queries through the
 	// gateway end to end — the transport layer's first non-HTTP workload.
 	RunDNSResolution = experiments.RunDNSResolution
+	// RunSoak drives hours of virtual-time churn — wire faults, policy
+	// swaps with malformed candidates, fail-closed outages, gateway
+	// restarts, idle GC — and asserts bounded memory, zero leaks, and the
+	// fail-safe invariant (no fault sequence converts a deny into a
+	// delivery).
+	RunSoak = experiments.RunSoak
 )
 
 // Experiment configuration re-exports.
@@ -614,6 +747,10 @@ type (
 	ReloadResult = experiments.ReloadResult
 	// DNSResolutionResult reports the DNS-over-UDP workload.
 	DNSResolutionResult = experiments.DNSResolutionResult
+	// SoakConfig parameterizes the chaos soak harness.
+	SoakConfig = experiments.SoakConfig
+	// SoakResult reports a soak run (Check asserts its invariants).
+	SoakResult = experiments.SoakResult
 )
 
 // Default experiment configurations.
@@ -622,4 +759,5 @@ var (
 	DefaultValidationConfig = experiments.DefaultValidationConfig
 	DefaultFig4Options      = experiments.DefaultFig4Options
 	DefaultReloadConfig     = experiments.DefaultReloadConfig
+	DefaultSoakConfig       = experiments.DefaultSoakConfig
 )

@@ -29,7 +29,7 @@ func main() {
 }
 
 func run() error {
-	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|all")
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
 	seed := flag.Int64("seed", 2019, "corpus seed")
 	flag.Parse()
@@ -170,6 +170,26 @@ func run() error {
 			return err
 		}
 		fmt.Print(res.Format())
+	}
+
+	if all || want["soak"] {
+		section("E13 — Chaos soak: faults, degradation, restarts (virtual time)")
+		cfg := experiments.DefaultSoakConfig()
+		cfg.Seed = *seed
+		if !*paperScale {
+			// The smoke scale still exercises every churn dimension.
+			cfg.Packets = 100_000
+			cfg.Swaps = 20
+		}
+		res, err := experiments.RunSoak(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if err := res.Check(); err != nil {
+			return err
+		}
+		fmt.Println("all soak invariants held")
 	}
 	return nil
 }

@@ -19,6 +19,13 @@
 //
 //	bp-gateway -policy-file policy.bp                  # edit the file while it runs
 //	bp-gateway -policy-url http://ctrl/policy.bp -policy-poll 5s
+//
+// Graceful degradation: -policy-max-stale arms a staleness deadline on the
+// hot-reload store and -fail-mode selects the posture past it — "static"
+// keeps the last-good rules (default), "open" admits everything, "closed"
+// denies everything until a healthy reload recovers.
+//
+//	bp-gateway -policy-url http://ctrl/policy.bp -policy-max-stale 30s -fail-mode closed
 package main
 
 import (
@@ -49,6 +56,8 @@ func run() error {
 	policyFile := flag.String("policy-file", "", "policy file with hot reload: edits apply without restart")
 	policyURL := flag.String("policy-url", "", "policy HTTP endpoint with hot reload (ETag conditional fetches)")
 	policyPoll := flag.Duration("policy-poll", 2*time.Second, "hot-reload poll interval for -policy-file/-policy-url")
+	policyMaxStale := flag.Duration("policy-max-stale", 0, "staleness deadline before the store degrades per -fail-mode (0 = never)")
+	failModeName := flag.String("fail-mode", "static", "degraded posture past -policy-max-stale: static|open|closed")
 	apps := flag.Int("apps", 20, "number of corpus apps to install")
 	events := flag.Int("events", 1000, "monkey events per app")
 	seed := flag.Int64("seed", 2019, "corpus + monkey seed")
@@ -72,6 +81,13 @@ func run() error {
 		policySource = policystore.NewFileSource(*policyFile)
 	case *policyURL != "":
 		policySource = policystore.NewHTTPSource(*policyURL, nil)
+	}
+	failMode, err := policystore.ParseFailMode(*failModeName)
+	if err != nil {
+		return err
+	}
+	if *policyMaxStale > 0 && policySource == nil {
+		return errors.New("-policy-max-stale requires -policy-file or -policy-url")
 	}
 
 	var auditW io.Writer
@@ -114,6 +130,8 @@ func run() error {
 		AuditWriter:      auditW,
 		PolicySource:     policySource,
 		PolicyPoll:       *policyPoll,
+		PolicyMaxStale:   *policyMaxStale,
+		PolicyFailMode:   failMode,
 	})
 	if err != nil {
 		return err
@@ -122,6 +140,9 @@ func run() error {
 		ps := tb.Policy.Stats()
 		fmt.Printf("policy store: %d rules from %s (revision %s, hot reload every %s)\n",
 			ps.Rules, ps.Source, ps.Version, *policyPoll)
+		if *policyMaxStale > 0 {
+			fmt.Printf("  staleness deadline %s, fail mode %s\n", *policyMaxStale, failMode)
+		}
 	}
 
 	totalPackets, delivered := 0, 0
@@ -169,6 +190,14 @@ func run() error {
 			ps.Applied, ps.Unchanged, ps.Failures, ps.Version, ps.Rules)
 		if ps.LastError != "" {
 			fmt.Printf("  last rejected candidate: %s\n", ps.LastError)
+		}
+		if *policyMaxStale > 0 {
+			state := "healthy"
+			if ps.Degraded {
+				state = fmt.Sprintf("DEGRADED (%s)", ps.FailMode)
+			}
+			fmt.Printf("  staleness: %s, last good %s ago, %d degraded windows\n",
+				state, ps.LastGoodAge.Round(time.Millisecond), ps.DegradedEnters)
 		}
 	}
 	// Flush-on-close so every decision reaches the -audit file before the

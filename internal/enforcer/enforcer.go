@@ -411,6 +411,27 @@ func (e *Enforcer) EndFlow(pkt *ipv4.Packet) bool {
 	return e.flows.Delete(key)
 }
 
+// SweepFlows reclaims TTL-expired verdict-cache entries (half-open flows
+// whose teardown the gateway never saw — a lost FIN, a silently dead
+// device). Returns how many entries it freed; zero when caching is off or
+// the cache has no TTL.
+func (e *Enforcer) SweepFlows() int {
+	if e.flows == nil {
+		return 0
+	}
+	return e.flows.Sweep()
+}
+
+// PurgeFlows empties the verdict cache — the gateway calls this when it
+// restarts, modelling the total loss of dataplane state: every live flow's
+// next packet re-resolves through the full extract–decode–evaluate
+// pipeline.
+func (e *Enforcer) PurgeFlows() {
+	if e.flows != nil {
+		e.flows.Purge()
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (e *Enforcer) Stats() Stats {
 	accepted := e.accepted.Load()

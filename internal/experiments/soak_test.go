@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"borderpatrol/internal/policystore"
+)
+
+// TestRunSoakSmoke is the CI chaos gate: a scaled-down soak (tens of
+// thousands of packets, minutes of virtual time) that still exercises
+// every churn dimension — faults, swaps with malformed candidates,
+// fail-closed outages, gateway restarts, idle GC — and asserts the full
+// invariant set via (*SoakResult).Check. The acceptance-grade run
+// (DefaultSoakConfig, ≥1M packets) is TestRunSoakFull below.
+func TestRunSoakSmoke(t *testing.T) {
+	cfg := SoakConfig{
+		Packets:  30_000,
+		Swaps:    12,
+		Restarts: 2,
+		Outages:  2,
+		FailMode: policystore.FailClosed,
+	}
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	t.Log(res)
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	assertSoakShape(t, res, cfg)
+}
+
+// TestRunSoakFull drives the acceptance configuration: ≥1M packets at 1%
+// per-fault rates, ≥50 swaps, ≥2 restarts. Skipped under -short (the CI
+// race job runs the smoke; the full run executes in the default test
+// sweep).
+func TestRunSoakFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full soak skipped in -short mode")
+	}
+	cfg := DefaultSoakConfig()
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	t.Log(res)
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	assertSoakShape(t, res, cfg)
+	if res.Packets < 1_000_000 {
+		t.Fatalf("packets = %d, want >= 1M", res.Packets)
+	}
+}
+
+// assertSoakShape checks the run actually exercised the churn it was
+// configured for — a soak that silently skipped its faults or restarts
+// would pass Check while proving nothing.
+func assertSoakShape(t *testing.T, res *SoakResult, cfg SoakConfig) {
+	t.Helper()
+	if res.Packets < cfg.Packets {
+		t.Errorf("packets = %d, want >= %d", res.Packets, cfg.Packets)
+	}
+	if res.Restarts != uint64(cfg.Restarts) {
+		t.Errorf("restarts = %d, want %d", res.Restarts, cfg.Restarts)
+	}
+	if res.DegradedEnters != uint64(cfg.Outages) {
+		t.Errorf("degraded enters = %d, want %d", res.DegradedEnters, cfg.Outages)
+	}
+	if res.DegradedDrops == 0 {
+		t.Error("no packets denied during degraded windows")
+	}
+	if res.Swaps == 0 || res.RejectedSwaps == 0 {
+		t.Errorf("swaps = %d applied / %d rejected, want both > 0", res.Swaps, res.RejectedSwaps)
+	}
+	f := res.Faults
+	if f.Drops == 0 || f.Duplicates == 0 || f.Reorders == 0 ||
+		f.Corruptions == 0 || f.Truncations == 0 || f.Delays == 0 {
+		t.Errorf("fault plan under-exercised: %+v", f)
+	}
+	if res.GCConnsReclaimed == 0 {
+		t.Error("idle GC never reclaimed a half-open connection (lost FINs should produce them)")
+	}
+	if res.Delivered == 0 {
+		t.Error("nothing was delivered")
+	}
+	ct := res.Conntrack
+	if ct.DupCloses == 0 {
+		t.Error("no duplicate closes observed (duplicated FINs should produce them)")
+	}
+}

@@ -86,6 +86,24 @@ type TestbedConfig struct {
 	// regression, which proves both wire formats produce identical
 	// workload verdicts.
 	LegacyPayloads bool
+	// Faults arms the network with a deterministic fault plan at
+	// construction (nil leaves the wire perfect, as before).
+	Faults *netsim.FaultPlan
+	// FlowTTL bounds flow-verdict cache entries in virtual time; zero
+	// keeps the pre-soak behaviour (no TTL, eviction pressure only).
+	FlowTTL time.Duration
+	// PolicyMaxStale enables the policy store's staleness deadline, and
+	// PolicyFailMode selects the degraded posture past it. Requires
+	// PolicySource.
+	PolicyMaxStale time.Duration
+	PolicyFailMode policystore.FailMode
+	// PolicyVirtualTime drives the staleness clock from the network's
+	// virtual clock instead of wall time, so harnesses can age the policy
+	// by hours in microseconds.
+	PolicyVirtualTime bool
+	// DisableCapture turns the network's packet-capture logs off (they
+	// clone every packet — unbounded memory over a soak run).
+	DisableCapture bool
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -121,15 +139,35 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		Corpus: corpus,
 	}
 
+	// The network comes up before the policy store so the store's
+	// staleness clock can read virtual time.
+	nic := cfg.NIC
+	if nic == 0 {
+		nic = netsim.ModeTAP
+	}
+	tb.Network = netsim.NewNetwork(nic, netsim.DefaultLatencyModel())
+	if cfg.DisableCapture {
+		tb.Network.SetCapture(false)
+	}
+	if cfg.Faults != nil {
+		tb.Network.InstallFaults(*cfg.Faults)
+	}
+
 	if cfg.PolicySource != nil {
 		if len(cfg.Rules) > 0 {
 			return nil, fmt.Errorf("experiments: TestbedConfig.Rules and PolicySource are mutually exclusive")
 		}
-		store, err := policystore.New(policystore.Config{
-			Source: cfg.PolicySource,
-			Engine: engine,
-			Poll:   cfg.PolicyPoll,
-		})
+		storeCfg := policystore.Config{
+			Source:   cfg.PolicySource,
+			Engine:   engine,
+			Poll:     cfg.PolicyPoll,
+			MaxStale: cfg.PolicyMaxStale,
+			FailMode: cfg.PolicyFailMode,
+		}
+		if cfg.PolicyVirtualTime {
+			storeCfg.Now = tb.Network.Clock.Now
+		}
+		store, err := policystore.New(storeCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
@@ -141,20 +179,19 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		tb.Policy = store
 	}
 
-	nic := cfg.NIC
-	if nic == 0 {
-		nic = netsim.ModeTAP
-	}
-	tb.Network = netsim.NewNetwork(nic, netsim.DefaultLatencyModel())
 	gwCfg := netsim.GatewayConfig{
 		Sanitizer: sanitizer.New(sanitizer.Config{}),
 		Workers:   cfg.GatewayWorkers,
+		Clock:     tb.Network.Clock,
 	}
 	if cfg.EnforcementOn {
 		tb.Audit = audit.New(cfg.AuditWriter, 256)
 		enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged, Audit: tb.Audit}
 		if !cfg.DisableFlowCache {
-			enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{Clock: tb.Network.Clock})
+			enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{
+				Clock: tb.Network.Clock,
+				TTL:   cfg.FlowTTL,
+			})
 		}
 		tb.Enforcer = enforcer.New(enfCfg, db, engine)
 		gwCfg.Enforcer = tb.Enforcer

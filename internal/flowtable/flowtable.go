@@ -504,6 +504,37 @@ func (t *Table[V]) Delete(k Key) bool {
 	return ok
 }
 
+// Sweep walks every shard and deletes entries past their TTL, returning
+// how many it reclaimed. Expiry is otherwise lazy (discovered on lookup or
+// under insert pressure), which lets a flow whose teardown packets were
+// lost pin its entry indefinitely if no traffic ever probes it again; a
+// periodic Sweep bounds that leak. A no-op without a TTL/Clock. Each shard
+// is locked independently, so concurrent traffic stalls for at most one
+// shard's walk.
+func (t *Table[V]) Sweep() int {
+	if t.ttl <= 0 {
+		return 0
+	}
+	now := t.readNow()
+	freed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for h, e := range s.entries {
+			if now-e.born > t.ttl {
+				delete(s.entries, h)
+				e.dead = true
+				freed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if freed > 0 {
+		t.expired.Add(uint64(freed))
+	}
+	return freed
+}
+
 // Purge empties the table (entries are not counted as evictions).
 func (t *Table[V]) Purge() {
 	for i := range t.shards {

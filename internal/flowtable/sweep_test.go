@@ -1,0 +1,52 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepReclaimsExpired: the GC sweep removes only TTL-expired entries
+// and counts them as expirations; fresh entries survive.
+func TestSweepReclaimsExpired(t *testing.T) {
+	clk := &tickClock{}
+	tb := New[string](Config{Capacity: 128, Shards: 2, TTL: time.Minute, Clock: clk})
+	for i := 0; i < 8; i++ {
+		tb.Insert(key(i), 1, "allow")
+	}
+	clk.advance(2 * time.Minute)
+	for i := 8; i < 12; i++ {
+		tb.Insert(key(i), 1, "allow") // fresh at sweep time
+	}
+
+	if got := tb.Sweep(); got != 8 {
+		t.Fatalf("sweep reclaimed %d, want 8", got)
+	}
+	st := tb.Stats()
+	if st.Live != 4 {
+		t.Fatalf("live = %d, want 4", st.Live)
+	}
+	if st.ExpiredDrops != 8 {
+		t.Fatalf("expired drops = %d, want 8", st.ExpiredDrops)
+	}
+	for i := 8; i < 12; i++ {
+		if _, ok := tb.Lookup(key(i), 1); !ok {
+			t.Fatalf("fresh entry %d swept", i)
+		}
+	}
+	// Second sweep finds nothing.
+	if got := tb.Sweep(); got != 0 {
+		t.Fatalf("second sweep reclaimed %d", got)
+	}
+}
+
+// TestSweepNoTTLNoOp: without a TTL the sweep has nothing to expire.
+func TestSweepNoTTLNoOp(t *testing.T) {
+	tb := New[string](Config{Capacity: 128})
+	tb.Insert(key(1), 1, "allow")
+	if got := tb.Sweep(); got != 0 {
+		t.Fatalf("TTL-less sweep reclaimed %d", got)
+	}
+	if st := tb.Stats(); st.Live != 1 {
+		t.Fatalf("live = %d", st.Live)
+	}
+}

@@ -440,6 +440,18 @@ type FilterStats struct {
 	BatchPackets uint64
 }
 
+// ResetStats zeroes the verdict counters — the kernel analogue of a
+// reboot. The gateway calls it from Restart so post-restart stats describe
+// only the new incarnation; rules and queue registrations survive (they
+// are re-established from persistent config on a real host).
+func (nf *Netfilter) ResetStats() {
+	nf.accepted.Store(0)
+	nf.dropped.Store(0)
+	nf.queuedOK.Store(0)
+	nf.batchDrains.Store(0)
+	nf.batchPackets.Store(0)
+}
+
 // Stats returns a snapshot of verdict counters.
 func (nf *Netfilter) Stats() FilterStats {
 	return FilterStats{

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/transport"
+)
+
+// ctSeg builds a bare TCP control/data segment between fixed hosts for
+// driving the tracker directly — no tagging or enforcement involved.
+func ctSeg(srcPort uint16, flags byte) *ipv4.Packet {
+	seg := transport.TCPSegment{
+		SrcPort: srcPort, DstPort: 443, Seq: 1, Flags: flags, Window: 65535,
+	}
+	return &ipv4.Packet{
+		Header: ipv4.Header{
+			Protocol: ipv4.ProtoTCP,
+			Src:      netip.MustParseAddr("10.66.0.2"),
+			Dst:      netip.MustParseAddr("192.0.2.10"),
+		},
+		Payload: seg.Marshal(),
+	}
+}
+
+// TestConntrackDuplicateFIN: a retransmitted FIN still reports connClosed
+// (EndFlow is idempotent, teardown is the safe direction) but must not
+// count a second close.
+func TestConntrackDuplicateFIN(t *testing.T) {
+	clk := NewClock()
+	ct := NewConntrack(clk)
+	ct.Observe(ctSeg(40000, transport.FlagSYN))
+	if !ct.Observe(ctSeg(40000, transport.FlagFIN|transport.FlagACK)) {
+		t.Fatal("first FIN did not close")
+	}
+	if !ct.Observe(ctSeg(40000, transport.FlagFIN|transport.FlagACK)) {
+		t.Fatal("duplicate FIN must still report closed (idempotent teardown)")
+	}
+	st := ct.Stats()
+	if st.Established != 1 || st.Closed != 1 || st.DupCloses != 1 {
+		t.Fatalf("stats = %+v, want 1 established / 1 closed / 1 dup", st)
+	}
+	if st.Open != 0 || st.TimeWait != 1 {
+		t.Fatalf("tables = %+v, want 0 open / 1 time-wait", st)
+	}
+}
+
+// TestConntrackRSTAfterFIN: an RST landing after the FIN already closed
+// the connection is a duplicate close, not a second one.
+func TestConntrackRSTAfterFIN(t *testing.T) {
+	ct := NewConntrack(NewClock())
+	ct.Observe(ctSeg(40001, transport.FlagSYN))
+	ct.Observe(ctSeg(40001, transport.FlagFIN|transport.FlagACK))
+	if !ct.Observe(ctSeg(40001, transport.FlagRST)) {
+		t.Fatal("RST-after-FIN must still report closed")
+	}
+	st := ct.Stats()
+	if st.Closed != 1 || st.DupCloses != 1 {
+		t.Fatalf("stats = %+v, want 1 closed / 1 dup", st)
+	}
+}
+
+// TestConntrackLateSYNNoResurrection: a delayed handshake retransmission
+// arriving while the tuple sits in TIME_WAIT must not re-establish the
+// dead connection; after TIME_WAIT expires the tuple is reusable.
+func TestConntrackLateSYNNoResurrection(t *testing.T) {
+	clk := NewClock()
+	ct := NewConntrack(clk)
+	ct.Observe(ctSeg(40002, transport.FlagSYN))
+	ct.Observe(ctSeg(40002, transport.FlagFIN|transport.FlagACK))
+
+	ct.Observe(ctSeg(40002, transport.FlagSYN)) // reordered dup of the original SYN
+	st := ct.Stats()
+	if st.Established != 1 || st.LateSYNs != 1 || st.Open != 0 {
+		t.Fatalf("late SYN resurrected the flow: %+v", st)
+	}
+
+	// Past TIME_WAIT the 5-tuple is legitimately reusable.
+	clk.Advance(timeWaitTTL + time.Second)
+	ct.Observe(ctSeg(40002, transport.FlagSYN))
+	st = ct.Stats()
+	if st.Established != 2 || st.Open != 1 || st.TimeWait != 0 {
+		t.Fatalf("tuple not reusable after TIME_WAIT expiry: %+v", st)
+	}
+}
+
+// TestConntrackDuplicateSYN: a SYN retransmission for a live connection
+// refreshes activity without counting a second establishment.
+func TestConntrackDuplicateSYN(t *testing.T) {
+	ct := NewConntrack(NewClock())
+	ct.Observe(ctSeg(40003, transport.FlagSYN))
+	ct.Observe(ctSeg(40003, transport.FlagSYN))
+	st := ct.Stats()
+	if st.Established != 1 || st.Open != 1 {
+		t.Fatalf("dup SYN double-established: %+v", st)
+	}
+}
+
+// TestConntrackUntrackedClose: a FIN for a connection the tracker never
+// saw open (gateway restarted mid-stream) still fires teardown.
+func TestConntrackUntrackedClose(t *testing.T) {
+	ct := NewConntrack(NewClock())
+	if !ct.Observe(ctSeg(40004, transport.FlagFIN|transport.FlagACK)) {
+		t.Fatal("untracked FIN must still report closed")
+	}
+	st := ct.Stats()
+	if st.UntrackedCloses != 1 || st.Closed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConntrackSweep: idle open connections (lost FINs) are reclaimed by
+// the GC sweep; fresh ones survive; expired TIME_WAIT entries are purged.
+func TestConntrackSweep(t *testing.T) {
+	clk := NewClock()
+	ct := NewConntrack(clk)
+	ct.Observe(ctSeg(40005, transport.FlagSYN)) // will go idle
+	ct.Observe(ctSeg(40006, transport.FlagSYN))
+	ct.Observe(ctSeg(40006, transport.FlagFIN|transport.FlagACK)) // parks in TIME_WAIT
+
+	clk.Advance(2 * time.Minute)
+	ct.Observe(ctSeg(40007, transport.FlagSYN)) // fresh at sweep time
+
+	if got := ct.Sweep(time.Minute); got != 1 {
+		t.Fatalf("sweep reclaimed %d, want 1", got)
+	}
+	st := ct.Stats()
+	if st.IdleReclaimed != 1 || st.Open != 1 || st.TimeWait != 0 {
+		t.Fatalf("post-sweep: %+v", st)
+	}
+
+	// No clock or non-positive idle: the sweep is a no-op.
+	if got := (NewConntrack(nil)).Sweep(time.Minute); got != 0 {
+		t.Fatalf("clockless sweep reclaimed %d", got)
+	}
+	if got := ct.Sweep(0); got != 0 {
+		t.Fatalf("idle<=0 sweep reclaimed %d", got)
+	}
+}
+
+// TestConntrackReset: a gateway restart discards all state and counters;
+// in-flight connections are then picked up mid-stream.
+func TestConntrackReset(t *testing.T) {
+	ct := NewConntrack(NewClock())
+	ct.Observe(ctSeg(40008, transport.FlagSYN))
+	ct.Observe(ctSeg(40009, transport.FlagSYN))
+	ct.Observe(ctSeg(40009, transport.FlagFIN|transport.FlagACK))
+	ct.Reset()
+	st := ct.Stats()
+	if st != (ConntrackStats{}) {
+		t.Fatalf("reset left state: %+v", st)
+	}
+	if !ct.Observe(ctSeg(40008, transport.FlagFIN|transport.FlagACK)) {
+		t.Fatal("post-restart FIN must fire teardown")
+	}
+	if st := ct.Stats(); st.UntrackedCloses != 1 {
+		t.Fatalf("post-restart close not counted untracked: %+v", st)
+	}
+}
+
+// TestConntrackTimeWaitBound: the TIME_WAIT ring caps parked connections
+// at maxTimeWait, releasing the oldest early.
+func TestConntrackTimeWaitBound(t *testing.T) {
+	ct := NewConntrack(NewClock())
+	over := maxTimeWait + 100
+	for i := 0; i < over; i++ {
+		// Vary both ports to get distinct 5-tuples beyond the uint16 range.
+		seg := transport.TCPSegment{
+			SrcPort: uint16(i), DstPort: uint16(40000 + i/65536), Seq: 1,
+			Flags: transport.FlagFIN | transport.FlagACK, Window: 65535,
+		}
+		pkt := &ipv4.Packet{
+			Header: ipv4.Header{
+				Protocol: ipv4.ProtoTCP,
+				Src:      netip.MustParseAddr("10.66.0.2"),
+				Dst:      netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", i%200+1)),
+			},
+			Payload: seg.Marshal(),
+		}
+		ct.Observe(pkt)
+	}
+	if st := ct.Stats(); st.TimeWait > maxTimeWait {
+		t.Fatalf("TIME_WAIT table unbounded: %d > %d", st.TimeWait, maxTimeWait)
+	}
+}

@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/sanitizer"
+)
+
+// TestFaultDeterminism: the same seed over the same roll sequence yields
+// the same faults — a failing soak run replays exactly.
+func TestFaultDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Drop: 0.3, Corrupt: 0.3, Delay: 0.3, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond}
+	a, b := NewFaults(plan), NewFaults(plan)
+	for i := 0; i < 10_000; i++ {
+		if a.rollDrop() != b.rollDrop() || a.rollDelay() != b.rollDelay() {
+			t.Fatalf("sequences diverged at roll %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if NewFaults(FaultPlan{Seed: 43, Drop: 0.3}).next() == NewFaults(FaultPlan{Seed: 42, Drop: 0.3}).next() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+// TestFaultRates: observed fault frequency tracks the configured
+// probability (law of large numbers, generous tolerance).
+func TestFaultRates(t *testing.T) {
+	f := NewFaults(FaultPlan{Seed: 7, Drop: 0.25})
+	const n = 200_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if f.rollDrop() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("drop rate = %.4f, want ~0.25", got)
+	}
+}
+
+// TestFaultZeroProbabilityFree: a zero threshold never fires and never
+// burns a PRNG step — the disarmed categories cost nothing.
+func TestFaultZeroProbabilityFree(t *testing.T) {
+	f := NewFaults(FaultPlan{Seed: 9})
+	before := f.state.Load()
+	for i := 0; i < 100; i++ {
+		if f.rollDrop() || f.rollDup() || f.rollReorder() || f.rollDelay() != 0 {
+			t.Fatal("zero plan fired a fault")
+		}
+		if f.mutate(&ipv4.Packet{Payload: []byte("abc")}) != nil {
+			t.Fatal("zero plan mutated a packet")
+		}
+	}
+	if f.state.Load() != before {
+		t.Fatal("zero plan advanced the PRNG")
+	}
+}
+
+// TestFaultMutatePreservesHeader: corruption and truncation damage only a
+// payload clone — the original packet and the IPv4 options carrying the
+// BorderPatrol tag are never touched. This is the fail-safe property's
+// foundation: no wire fault can rewrite a tag into one that resolves to an
+// allowed context.
+func TestFaultMutatePreservesHeader(t *testing.T) {
+	f := NewFaults(FaultPlan{Seed: 3, Corrupt: 1, Truncate: 1})
+	pkt := &ipv4.Packet{Payload: []byte("GET / HTTP/1.1\r\n\r\n")}
+	pkt.Header.SetOption(ipv4.Option{Type: ipv4.OptSecurity, Data: []byte{1, 2, 3, 4}})
+	origPayload := append([]byte(nil), pkt.Payload...)
+
+	m := f.mutate(pkt)
+	if m == nil {
+		t.Fatal("p=1 mutation did not fire")
+	}
+	if !bytes.Equal(pkt.Payload, origPayload) {
+		t.Fatal("mutation modified the original packet")
+	}
+	opt, ok := m.Header.FindOption(ipv4.OptSecurity)
+	if !ok || !bytes.Equal(opt.Data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("mutation touched the tag option: %+v", m.Header.Options)
+	}
+	if bytes.Equal(m.Payload, origPayload) {
+		t.Fatal("mutation left the clone's payload intact")
+	}
+}
+
+// TestFaultDropScalar: with Drop=1 armed every scalar delivery dies as a
+// wire fault before the gateway; ClearFaults restores perfect delivery.
+func TestFaultDropScalar(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	n.InstallFaults(FaultPlan{Seed: 1, Drop: 1})
+
+	pkt := plainPacket(getRequest())
+	for i := 0; i < 3; i++ {
+		d := n.Deliver(pkt)
+		if d.Delivered || d.Stage != StageFault {
+			t.Fatalf("delivery %d survived Drop=1: %+v", i, d)
+		}
+	}
+	if st := n.FaultStats(); st.Drops != 3 {
+		t.Fatalf("drops = %d, want 3", st.Drops)
+	}
+	if st := gw.Netfilter().Stats(); st.Accepted+st.Dropped != 0 {
+		t.Fatalf("gateway saw wire-dropped packets: %+v", st)
+	}
+
+	n.ClearFaults()
+	if d := n.Deliver(pkt); !d.Delivered {
+		t.Fatalf("post-clear delivery failed: %+v", d)
+	}
+	if st := n.FaultStats(); st != (FaultStats{}) {
+		t.Fatalf("cleared network still reports fault stats: %+v", st)
+	}
+}
+
+// TestFaultBatchAlignment: with duplication and reordering armed, the
+// returned Deliveries still align one-to-one with the input burst.
+func TestFaultBatchAlignment(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	n.InstallFaults(FaultPlan{Seed: 5, Duplicate: 1, Reorder: 0.5})
+
+	srv, _ := n.ServerAt(serverAddr())
+	burst := make([]*ipv4.Packet, 16)
+	for i := range burst {
+		burst[i] = plainPacket(getRequest())
+	}
+	out := n.DeliverBatch(burst)
+	if len(out) != len(burst) {
+		t.Fatalf("deliveries = %d, want %d", len(out), len(burst))
+	}
+	for i, d := range out {
+		if !d.Delivered {
+			t.Fatalf("burst pkt %d not delivered: %+v", i, d)
+		}
+	}
+	// Every duplicate rode the wire for real: the server answered 2x.
+	if got := srv.Requests(); got != uint64(2*len(burst)) {
+		t.Fatalf("server requests = %d, want %d (duplicates must reach it)", got, 2*len(burst))
+	}
+	st := n.FaultStats()
+	if st.Duplicates != uint64(len(burst)) || st.Reorders == 0 {
+		t.Fatalf("fault stats: %+v", st)
+	}
+}
+
+// TestFaultDelayChargesVirtualTime: delays stretch the virtual clock, not
+// the wall clock.
+func TestFaultDelayChargesVirtualTime(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	n.InstallFaults(FaultPlan{Seed: 2, Delay: 1, DelayMin: 10 * time.Millisecond, DelayMax: 10 * time.Millisecond})
+
+	before := n.Clock.Now()
+	n.Deliver(plainPacket(getRequest()))
+	if got := n.Clock.Now() - before; got < 10*time.Millisecond {
+		t.Fatalf("virtual time advanced %v, want >= 10ms", got)
+	}
+	if st := n.FaultStats(); st.Delays != 1 || st.DelayVirtual != 10*time.Millisecond {
+		t.Fatalf("delay stats: %+v", st)
+	}
+}
+
+// TestFaultCorruptionFailSafe: with every payload corrupted and truncated,
+// a flow denied by policy is never delivered — payload damage cannot flip
+// a deny into an allow, because verdicts derive from the untouched tag.
+func TestFaultCorruptionFailSafe(t *testing.T) {
+	enf, apk, db := buildEnforcerAndDB(t)
+	gw := NewGateway(GatewayConfig{Enforcer: enf, Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	n.InstallFaults(FaultPlan{Seed: 11, Corrupt: 1, Truncate: 1})
+
+	denied := taggedPacket(t, apk, db, "beacon") // com/flurry rule denies it
+	denied.Payload = getRequest()
+	for i := 0; i < 100; i++ {
+		if d := n.Deliver(denied); d.Delivered {
+			t.Fatalf("iteration %d: corrupted denied packet was delivered", i)
+		}
+	}
+}
+
+// TestFaultCaptureToggle: SetCapture(false) stops the pcap logs growing
+// (the soak's bounded-memory prerequisite); re-enabling resumes capture.
+func TestFaultCaptureToggle(t *testing.T) {
+	gw := NewGateway(GatewayConfig{Sanitizer: sanitizer.New(sanitizer.Config{})})
+	n := newStaticNetwork(ModeTAP, gw)
+	n.SetCapture(false)
+	n.Deliver(plainPacket(getRequest()))
+	if got := n.CaptureAt(CaptureDeviceEgress).Len(); got != 0 {
+		t.Fatalf("captures with capture off: %d", got)
+	}
+	n.SetCapture(true)
+	n.Deliver(plainPacket(getRequest()))
+	if got := n.CaptureAt(CaptureDeviceEgress).Len(); got != 1 {
+		t.Fatalf("captures after re-enable: %d", got)
+	}
+}

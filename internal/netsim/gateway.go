@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/ipv4"
@@ -38,6 +40,8 @@ type Gateway struct {
 	// the queue and reinjects packets unmodified.
 	passthrough bool
 
+	restarts atomic.Uint64
+
 	mu sync.Mutex
 	// lastResult stores the most recent enforcement result for callers
 	// that need the audit trail; valid only under mu across one Process.
@@ -55,6 +59,9 @@ type GatewayConfig struct {
 	Passthrough bool
 	// Workers sizes the per-core batch drain (≤0 = GOMAXPROCS).
 	Workers int
+	// Clock supplies virtual time to the connection tracker (TIME_WAIT
+	// expiry, idle sweeps); nil disables time-based conntrack expiry.
+	Clock *Clock
 }
 
 // NewGateway wires the pipeline onto a fresh netfilter instance.
@@ -63,7 +70,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		nf:          kernel.NewNetfilter(),
 		enforcer:    cfg.Enforcer,
 		sanitizer:   cfg.Sanitizer,
-		ct:          NewConntrack(),
+		ct:          NewConntrack(cfg.Clock),
 		workers:     cfg.Workers,
 		passthrough: cfg.Passthrough,
 	}
@@ -203,6 +210,41 @@ func (g *Gateway) ProcessBatch(pkts []*ipv4.Packet) ([]BatchOutcome, error) {
 
 // Conntrack snapshots the gateway's connection tracker.
 func (g *Gateway) Conntrack() ConntrackStats { return g.ct.Stats() }
+
+// Restart models a gateway crash and reboot: all dataplane state — the
+// enforcer's flow-verdict cache, the connection tracker, the netfilter
+// counters — is discarded, exactly as a real appliance loses its RAM
+// tables. The policy engine and signature database survive (they are
+// control-plane state, re-read from persistent config on a real host), so
+// the next packet of every live flow re-resolves through the full
+// pipeline and must reach the same verdict cold — the re-resolution
+// property the soak harness asserts.
+func (g *Gateway) Restart() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.enforcer != nil {
+		g.enforcer.PurgeFlows()
+	}
+	g.ct.Reset()
+	g.nf.ResetStats()
+	g.restarts.Add(1)
+}
+
+// Restarts counts Restart calls over the gateway's lifetime.
+func (g *Gateway) Restarts() uint64 { return g.restarts.Load() }
+
+// GC runs one idle sweep: connections with no activity for longer than
+// idle leave the conntrack (their FIN was lost — the half-open leak), and
+// TTL-expired flow-cache entries are reclaimed. Returns what each sweep
+// freed. Deployments call it periodically; the soak harness calls it
+// between epochs and asserts the tables return to empty.
+func (g *Gateway) GC(idle time.Duration) (conns, flows int) {
+	conns = g.ct.Sweep(idle)
+	if g.enforcer != nil {
+		flows = g.enforcer.SweepFlows()
+	}
+	return conns, flows
+}
 
 // CloseFlow tells the enforcement stage a connection has ended, so its
 // cached verdict is torn down immediately instead of lingering until TTL

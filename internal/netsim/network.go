@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"borderpatrol/internal/enforcer"
@@ -55,6 +56,9 @@ const (
 	StageBorder
 	// StageNoRoute is an unknown destination.
 	StageNoRoute
+	// StageFault is a loss injected by the installed FaultPlan (the wire
+	// ate the packet before the gateway ever saw it).
+	StageFault
 )
 
 // String names the stage.
@@ -68,6 +72,8 @@ func (s DropStage) String() string {
 		return "border-router"
 	case StageNoRoute:
 		return "no-route"
+	case StageFault:
+		return "wire-fault"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
@@ -166,6 +172,15 @@ type Network struct {
 	// non-internal destinations.
 	BorderFilterEnabled bool
 
+	// faults, when non-nil, injects wire faults on the device→gateway
+	// path. One atomic pointer load per delivery when disarmed — the
+	// fault-free fast path is otherwise untouched.
+	faults atomic.Pointer[Faults]
+	// captureOff disables the packet-capture logs: soak runs push millions
+	// of packets and must stay memory-bounded, which an append-only pcap
+	// defeats.
+	captureOff atomic.Bool
+
 	mu       sync.Mutex
 	servers  map[netip.Addr]*Server
 	captures map[CapturePoint]*Capture
@@ -208,6 +223,35 @@ func (n *Network) CaptureAt(p CapturePoint) *Capture {
 	return n.captures[p]
 }
 
+// SetCapture enables or disables the packet-capture logs. Long-running
+// soak harnesses disable them: each capture clones every packet, which is
+// unbounded memory over millions of deliveries.
+func (n *Network) SetCapture(enabled bool) {
+	n.captureOff.Store(!enabled)
+}
+
+// InstallFaults arms a fault plan on the device→gateway wire and returns
+// the armed instance (for its Stats). Replaces any previous plan.
+func (n *Network) InstallFaults(plan FaultPlan) *Faults {
+	f := NewFaults(plan)
+	n.faults.Store(f)
+	return f
+}
+
+// ClearFaults disarms fault injection (the pre-fault fast path returns to
+// a single nil pointer load).
+func (n *Network) ClearFaults() {
+	n.faults.Store(nil)
+}
+
+// FaultStats snapshots the armed fault plan's counters (zero when none).
+func (n *Network) FaultStats() FaultStats {
+	if f := n.faults.Load(); f != nil {
+		return f.Stats()
+	}
+	return FaultStats{}
+}
+
 // ErrNoRoute reports delivery to an unregistered address.
 var ErrNoRoute = errors.New("netsim: no route to host")
 
@@ -237,6 +281,39 @@ func (n *Network) Deliver(pkt *ipv4.Packet) Delivery {
 // deliver implements Deliver; skipGateway models paths (like the mobile
 // carrier) that never touch the corporate perimeter.
 func (n *Network) deliver(pkt *ipv4.Packet, skipGateway bool) Delivery {
+	if f := n.faults.Load(); f != nil && !skipGateway {
+		return n.deliverFaulty(f, pkt)
+	}
+	return n.deliverCore(pkt, skipGateway)
+}
+
+// deliverFaulty is the armed-plan scalar path: drop, delay, corruption,
+// truncation, and duplication apply per packet (reordering needs a burst —
+// see DeliverBatch). A duplicate rides the wire in the same damaged form;
+// its own delivery outcome is discarded, but its gateway and server state
+// transitions happen for real — exactly the repeated-control-segment
+// surface the conntrack idempotency guarantees cover.
+func (n *Network) deliverFaulty(f *Faults, pkt *ipv4.Packet) Delivery {
+	if f.rollDrop() {
+		n.captureAt(CaptureDeviceEgress, pkt)
+		return Delivery{Stage: StageFault}
+	}
+	if d := f.rollDelay(); d > 0 {
+		n.Clock.Advance(d)
+	}
+	cur := pkt
+	if m := f.mutate(pkt); m != nil {
+		cur = m
+	}
+	del := n.deliverCore(cur, false)
+	if f.rollDup() {
+		n.deliverCore(cur, false)
+	}
+	return del
+}
+
+// deliverCore is the fault-free delivery pipeline.
+func (n *Network) deliverCore(pkt *ipv4.Packet, skipGateway bool) Delivery {
 	start := n.Clock.Now()
 	n.captureAt(CaptureDeviceEgress, pkt)
 
@@ -383,7 +460,65 @@ func (n *Network) serveRequest(srv *Server, req *httpsim.Request, d *Delivery) {
 // the survivors are then served in order. Deliveries align with pkts;
 // each Latency spans the whole burst window, matching how a batched queue
 // reader delays individual packets until its drain completes.
+//
+// With a fault plan armed, faults apply per packet on the wire view of the
+// burst before the gateway drain: drops remove packets (StageFault),
+// duplicates insert extra copies, corruption/truncation damage payload
+// clones, reorders swap wire neighbours, and delays stretch the burst
+// window in virtual time. Deliveries still align one-to-one with pkts —
+// a duplicate's extra outcome is discarded, a reordered packet reports
+// its own fate wherever it landed on the wire.
 func (n *Network) DeliverBatch(pkts []*ipv4.Packet) []Delivery {
+	f := n.faults.Load()
+	if f == nil || len(pkts) == 0 {
+		return n.deliverBatchCore(pkts)
+	}
+	out := make([]Delivery, len(pkts))
+	// Build the wire view: what the gateway-side of the link actually
+	// carries. origIdx maps each wire slot back to its input packet (-1
+	// for injected duplicates).
+	wire := make([]*ipv4.Packet, 0, len(pkts)+len(pkts)/8+1)
+	origIdx := make([]int, 0, cap(wire))
+	var delay time.Duration
+	for i, pkt := range pkts {
+		if f.rollDrop() {
+			out[i] = Delivery{Stage: StageFault}
+			continue
+		}
+		delay += f.rollDelay()
+		cur := pkt
+		if m := f.mutate(pkt); m != nil {
+			cur = m
+		}
+		wire = append(wire, cur)
+		origIdx = append(origIdx, i)
+		if f.rollDup() {
+			wire = append(wire, cur)
+			origIdx = append(origIdx, -1)
+		}
+	}
+	// Reorder by adjacent swap: each firing exchanges a packet with its
+	// wire predecessor — enough to put a FIN ahead of its data segment or
+	// a data segment ahead of its SYN, the cases teardown and establishment
+	// must tolerate.
+	for j := 1; j < len(wire); j++ {
+		if f.rollReorder() {
+			wire[j-1], wire[j] = wire[j], wire[j-1]
+			origIdx[j-1], origIdx[j] = origIdx[j], origIdx[j-1]
+		}
+	}
+	n.Clock.Advance(delay)
+	res := n.deliverBatchCore(wire)
+	for j, d := range res {
+		if origIdx[j] >= 0 {
+			out[origIdx[j]] = d
+		}
+	}
+	return out
+}
+
+// deliverBatchCore is the fault-free batch pipeline.
+func (n *Network) deliverBatchCore(pkts []*ipv4.Packet) []Delivery {
 	out := make([]Delivery, len(pkts))
 	if len(pkts) == 0 {
 		return out
@@ -446,6 +581,9 @@ func (n *Network) DeliverBatch(pkts []*ipv4.Packet) []Delivery {
 }
 
 func (n *Network) captureAt(p CapturePoint, pkt *ipv4.Packet) {
+	if n.captureOff.Load() {
+		return
+	}
 	n.mu.Lock()
 	c := n.captures[p]
 	n.mu.Unlock()

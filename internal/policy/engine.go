@@ -58,8 +58,16 @@ type Engine struct {
 	// their entries on it so SetRules invalidates them without callbacks.
 	generation atomic.Uint64
 
-	evaluations atomic.Uint64
-	defaultHits atomic.Uint64
+	// degraded, when non-nil, short-circuits every evaluation to a fixed
+	// verdict — the fail-open/fail-closed posture a policy store engages
+	// when its backend has been unreachable past the staleness deadline.
+	// Entering and leaving degraded mode bumps the generation, so cached
+	// flow verdicts from the other mode can never be served.
+	degraded atomic.Pointer[Decision]
+
+	evaluations  atomic.Uint64
+	defaultHits  atomic.Uint64
+	degradedHits atomic.Uint64
 }
 
 // NewEngine builds an engine with the given ordered rules, compiled for
@@ -99,9 +107,52 @@ func (e *Engine) SetRules(rules []Rule) error {
 	return nil
 }
 
-// Generation returns the number of SetRules replacements so far. Verdict
-// caches store it with each entry and treat any change as invalidation.
+// Generation returns the number of rule-set replacements plus degraded-mode
+// transitions so far. Verdict caches store it with each entry and treat any
+// change as invalidation.
 func (e *Engine) Generation() uint64 { return e.generation.Load() }
+
+// SetDegraded forces every evaluation to the given verdict until
+// ClearDegraded — the engine half of a policy store's fail-open
+// (VerdictAllow) or fail-closed (VerdictDrop) posture when the last good
+// policy is older than the staleness deadline. The override is published
+// before the generation bump, mirroring SetRules: any reader observing the
+// new generation evaluates under the override, so a pre-degradation cached
+// verdict can never be served once the transition is visible. Idempotent
+// per (verdict, reason): re-asserting the same degraded state does not
+// burn another generation.
+func (e *Engine) SetDegraded(v Verdict, reason string) error {
+	if v != VerdictAllow && v != VerdictDrop {
+		return fmt.Errorf("policy: invalid degraded verdict %d", v)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur := e.degraded.Load(); cur != nil && cur.Verdict == v && cur.Reason == reason {
+		return nil
+	}
+	e.degraded.Store(&Decision{Verdict: v, Reason: reason})
+	e.generation.Add(1)
+	return nil
+}
+
+// ClearDegraded lifts a degraded-mode override and returns to normal rule
+// evaluation (no-op when not degraded). Leaving degraded mode bumps the
+// generation so verdicts cached while degraded are invalidated.
+func (e *Engine) ClearDegraded() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.degraded.Swap(nil) != nil {
+		e.generation.Add(1)
+	}
+}
+
+// Degraded reports the active degraded-mode override, if any.
+func (e *Engine) Degraded() (Decision, bool) {
+	if d := e.degraded.Load(); d != nil {
+		return *d, true
+	}
+	return Decision{}, false
+}
 
 // Rules returns a copy of the current rule set.
 func (e *Engine) Rules() []Rule {
@@ -118,6 +169,13 @@ func (e *Engine) Default() Verdict { return e.defaultV }
 // were compiled ahead of time, so evaluation is a few map and prefix
 // probes with no locking, parsing, or allocation.
 func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Decision {
+	// Degraded-mode override: one pointer load on the (cache-miss) path,
+	// nil in normal operation.
+	if d := e.degraded.Load(); d != nil {
+		e.evaluations.Add(1)
+		e.degradedHits.Add(1)
+		return *d
+	}
 	c := e.compiled.Load()
 	decisive := c.evaluate(appHash, stack)
 
@@ -139,7 +197,10 @@ func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Deci
 type Stats struct {
 	Evaluations uint64
 	DefaultHits uint64
-	RuleHits    map[int]uint64
+	// DegradedHits counts evaluations answered by a degraded-mode override
+	// (fail-open/fail-closed posture) instead of the rule set.
+	DegradedHits uint64
+	RuleHits     map[int]uint64
 }
 
 // Stats returns a snapshot of the engine's counters. RuleHits carries the
@@ -153,8 +214,9 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return Stats{
-		Evaluations: e.evaluations.Load(),
-		DefaultHits: e.defaultHits.Load(),
-		RuleHits:    hits,
+		Evaluations:  e.evaluations.Load(),
+		DefaultHits:  e.defaultHits.Load(),
+		DegradedHits: e.degradedHits.Load(),
+		RuleHits:     hits,
 	}
 }

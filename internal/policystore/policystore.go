@@ -27,12 +27,64 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"borderpatrol/internal/policy"
 )
+
+// FailMode selects what the store does when the policy backend has been
+// unreachable (or serving rejects) for longer than Config.MaxStale: the
+// graceful-degradation half of the paper's fail-safe posture. The choice is
+// deliberate and deployment-specific — an enforcement point fronting
+// hostile BYOD traffic wants FailClosed (deny must survive a starved
+// control plane), while an availability-first deployment may prefer
+// FailOpen or the historical FailStatic.
+type FailMode int
+
+// Fail modes.
+const (
+	// FailStatic keeps serving the last-good rule set indefinitely — the
+	// pre-staleness behaviour, and the default.
+	FailStatic FailMode = iota
+	// FailOpen allows all evaluated traffic once the last-good policy is
+	// older than MaxStale. Structural drops (untagged packets, unknown
+	// apps, malformed tags) still apply — only the rule verdict degrades.
+	FailOpen
+	// FailClosed denies every evaluated packet once the last-good policy
+	// is older than MaxStale: no fault or outage sequence can convert a
+	// would-be deny into a delivery.
+	FailClosed
+)
+
+// String names the mode.
+func (m FailMode) String() string {
+	switch m {
+	case FailStatic:
+		return "static"
+	case FailOpen:
+		return "fail-open"
+	case FailClosed:
+		return "fail-closed"
+	default:
+		return fmt.Sprintf("failmode(%d)", int(m))
+	}
+}
+
+// ParseFailMode parses a -fail-mode flag value.
+func ParseFailMode(s string) (FailMode, error) {
+	switch s {
+	case "", "static":
+		return FailStatic, nil
+	case "open", "fail-open":
+		return FailOpen, nil
+	case "closed", "fail-closed":
+		return FailClosed, nil
+	}
+	return 0, fmt.Errorf("policystore: unknown fail mode %q (want static|open|closed)", s)
+}
 
 // Candidate is one policy document fetched from a backend.
 type Candidate struct {
@@ -82,6 +134,18 @@ type Config struct {
 	// Called from the reloading goroutine; must not call back into the
 	// Store.
 	OnApply func(version string, rules []policy.Rule)
+	// MaxStale is the staleness deadline: when the last successful cycle
+	// (applied or unchanged) is older than this, the store degrades the
+	// engine per FailMode. Zero disables staleness tracking's degradation
+	// (LastGoodAge is still reported).
+	MaxStale time.Duration
+	// FailMode selects the degraded posture past MaxStale (default
+	// FailStatic: keep serving last-good forever).
+	FailMode FailMode
+	// Now supplies the staleness time source. Nil uses wall time since the
+	// store was built; virtual-time harnesses (the soak experiment) wire
+	// the simulation clock so hours of outage cost microseconds.
+	Now func() time.Duration
 }
 
 // Stats snapshots a Store's counters.
@@ -105,6 +169,17 @@ type Stats struct {
 	LastError string
 	// Source describes the backend.
 	Source string
+	// LastGoodAge is how long ago the last successful cycle (applied or
+	// unchanged) completed — the fleet-health signal a scraper watches to
+	// spot pollers starving before they degrade.
+	LastGoodAge time.Duration
+	// Degraded reports whether the store has tripped its staleness
+	// deadline and put the engine in FailMode; DegradedEnters counts how
+	// many times it has done so over the store's lifetime.
+	Degraded       bool
+	DegradedEnters uint64
+	// FailMode names the configured degraded posture.
+	FailMode string
 }
 
 // Store keeps a policy engine hot from a Source: validation and
@@ -118,15 +193,20 @@ type Store struct {
 	// two concurrent fetches can never apply out of order.
 	reloadMu sync.Mutex
 
-	mu        sync.Mutex // guards version, ruleCount, lastErr
-	version   string
-	ruleCount int
-	lastErr   string
+	mu         sync.Mutex // guards version, ruleCount, lastErr, lastGoodAt, degraded
+	version    string
+	ruleCount  int
+	lastErr    string
+	lastGoodAt time.Duration
+	degraded   bool
 
-	polls     atomic.Uint64
-	applied   atomic.Uint64
-	unchanged atomic.Uint64
-	failures  atomic.Uint64
+	start time.Time // epoch for the default Now
+
+	polls          atomic.Uint64
+	applied        atomic.Uint64
+	unchanged      atomic.Uint64
+	failures       atomic.Uint64
+	degradedEnters atomic.Uint64
 
 	stop    chan struct{}
 	done    chan struct{}
@@ -152,10 +232,19 @@ func New(cfg Config) (*Store, error) {
 		cfg.MaxBackoff = cfg.Poll
 	}
 	return &Store{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:   cfg,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}, nil
+}
+
+// now reads the staleness time source.
+func (s *Store) now() time.Duration {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Since(s.start)
 }
 
 // Load performs the initial synchronous fetch+compile+swap. Unlike later
@@ -182,16 +271,19 @@ func (s *Store) Reload() (applied bool, err error) {
 	c, unchanged, err := s.cfg.Source.Fetch(prev)
 	if err != nil {
 		s.fail(err)
+		s.CheckStale()
 		return false, err
 	}
 	if unchanged {
 		s.unchanged.Add(1)
+		s.markGood()
 		return false, nil
 	}
 	rules, err := policy.ParsePolicyString(c.Doc)
 	if err != nil {
 		err = fmt.Errorf("policystore: %s: candidate %s rejected: %w", s.cfg.Source, c.Version, err)
 		s.fail(err)
+		s.CheckStale()
 		return false, err
 	}
 	// SetRules compiles the candidate before publishing anything, so a
@@ -199,6 +291,7 @@ func (s *Store) Reload() (applied bool, err error) {
 	if err := s.cfg.Engine.SetRules(rules); err != nil {
 		err = fmt.Errorf("policystore: %s: candidate %s rejected: %w", s.cfg.Source, c.Version, err)
 		s.fail(err)
+		s.CheckStale()
 		return false, err
 	}
 	s.mu.Lock()
@@ -207,6 +300,7 @@ func (s *Store) Reload() (applied bool, err error) {
 	s.lastErr = ""
 	s.mu.Unlock()
 	s.applied.Add(1)
+	s.markGood()
 	if s.cfg.OnApply != nil {
 		s.cfg.OnApply(c.Version, rules)
 	}
@@ -219,6 +313,62 @@ func (s *Store) fail(err error) {
 	s.mu.Lock()
 	s.lastErr = err.Error()
 	s.mu.Unlock()
+}
+
+// markGood records a successful cycle (applied or unchanged) and lifts any
+// staleness degradation, since the backend just answered.
+func (s *Store) markGood() {
+	s.mu.Lock()
+	s.lastGoodAt = s.now()
+	s.mu.Unlock()
+	s.CheckStale()
+}
+
+// CheckStale compares the last-good age against MaxStale and transitions
+// the engine in or out of degraded mode per FailMode, reporting whether the
+// store is currently degraded. Reload calls it after every cycle; harnesses
+// with a virtual clock (or deployments that want staleness enforced even
+// when the poller is wedged) may also call it directly — it is cheap and
+// idempotent.
+func (s *Store) CheckStale() bool {
+	if s.cfg.MaxStale <= 0 || s.cfg.FailMode == FailStatic {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stale := s.now()-s.lastGoodAt > s.cfg.MaxStale
+	switch {
+	case stale && !s.degraded:
+		s.degraded = true
+		s.degradedEnters.Add(1)
+		v := policy.VerdictDrop
+		if s.cfg.FailMode == FailOpen {
+			v = policy.VerdictAllow
+		}
+		// SetDegraded only validates the verdict, which is correct by
+		// construction here.
+		_ = s.cfg.Engine.SetDegraded(v, fmt.Sprintf(
+			"%s: policy stale beyond %v (backend %s)", s.cfg.FailMode, s.cfg.MaxStale, s.cfg.Source))
+	case !stale && s.degraded:
+		s.degraded = false
+		s.cfg.Engine.ClearDegraded()
+	}
+	return s.degraded
+}
+
+// LastGoodAge reports how long ago the last successful cycle completed.
+// Before any successful cycle it is the store's age.
+func (s *Store) LastGoodAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now() - s.lastGoodAt
+}
+
+// Degraded reports whether the staleness deadline has tripped.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // Start launches the background poller (a no-op when Config.Poll <= 0).
@@ -234,10 +384,21 @@ func (s *Store) Start() {
 	})
 }
 
+// jitter spreads an interval to ±20%, so a fleet of pollers whose backend
+// just recovered (or just died) does not re-synchronize into a thundering
+// herd of simultaneous fetches.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	// Uniform in [0.8d, 1.2d).
+	return d*4/5 + time.Duration(rand.Int64N(int64(d)*2/5+1))
+}
+
 func (s *Store) pollLoop() {
 	defer close(s.done)
 	interval := s.cfg.Poll
-	timer := time.NewTimer(interval)
+	timer := time.NewTimer(jitter(interval))
 	defer timer.Stop()
 	for {
 		select {
@@ -250,7 +411,7 @@ func (s *Store) pollLoop() {
 		} else {
 			interval = s.cfg.Poll
 		}
-		timer.Reset(interval)
+		timer.Reset(jitter(interval))
 	}
 }
 
@@ -277,15 +438,21 @@ func (s *Store) Stats() Stats {
 	}
 	s.mu.Lock()
 	version, ruleCount, lastErr := s.version, s.ruleCount, s.lastErr
+	age := s.now() - s.lastGoodAt
+	degraded := s.degraded
 	s.mu.Unlock()
 	return Stats{
-		Polls:     s.polls.Load(),
-		Applied:   s.applied.Load(),
-		Unchanged: s.unchanged.Load(),
-		Failures:  s.failures.Load(),
-		Version:   version,
-		Rules:     ruleCount,
-		LastError: lastErr,
-		Source:    s.cfg.Source.String(),
+		Polls:          s.polls.Load(),
+		Applied:        s.applied.Load(),
+		Unchanged:      s.unchanged.Load(),
+		Failures:       s.failures.Load(),
+		Version:        version,
+		Rules:          ruleCount,
+		LastError:      lastErr,
+		Source:         s.cfg.Source.String(),
+		LastGoodAge:    age,
+		Degraded:       degraded,
+		DegradedEnters: s.degradedEnters.Load(),
+		FailMode:       s.cfg.FailMode.String(),
 	}
 }

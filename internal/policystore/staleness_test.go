@@ -1,0 +1,204 @@
+package policystore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/policy"
+)
+
+// outageSource wraps a static document behind a switchable outage: while
+// down, Fetch fails like an unreachable backend.
+type outageSource struct {
+	mu   sync.Mutex
+	doc  string
+	down bool
+}
+
+func (o *outageSource) Fetch(prev string) (Candidate, bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.down {
+		return Candidate{}, false, errors.New("backend unreachable")
+	}
+	return NewStaticSource(o.doc).Fetch(prev)
+}
+
+func (o *outageSource) String() string { return "outage-test" }
+
+func (o *outageSource) setDown(down bool) {
+	o.mu.Lock()
+	o.down = down
+	o.mu.Unlock()
+}
+
+// staleFixture builds a store on a manual virtual clock with a 1-minute
+// staleness deadline.
+func staleFixture(t *testing.T, mode FailMode) (*Store, *policy.Engine, *outageSource, *time.Duration) {
+	t.Helper()
+	eng := newEngine(t)
+	src := &outageSource{doc: docA}
+	now := new(time.Duration)
+	st, err := New(Config{
+		Source:   src,
+		Engine:   eng,
+		MaxStale: time.Minute,
+		FailMode: mode,
+		Now:      func() time.Duration { return *now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	return st, eng, src, now
+}
+
+// TestStalenessFailClosed: past the deadline with the backend down, the
+// engine degrades to deny-everything; a healthy reload recovers it.
+func TestStalenessFailClosed(t *testing.T) {
+	st, eng, src, now := staleFixture(t, FailClosed)
+
+	// Fresh: healthy.
+	if st.Degraded() {
+		t.Fatal("degraded immediately after load")
+	}
+
+	src.setDown(true)
+	*now = 30 * time.Second
+	if _, err := st.Reload(); err == nil {
+		t.Fatal("reload during outage succeeded")
+	}
+	if st.Degraded() {
+		t.Fatal("degraded before the deadline")
+	}
+
+	*now = 2 * time.Minute
+	if _, err := st.Reload(); err == nil {
+		t.Fatal("reload during outage succeeded")
+	}
+	if !st.Degraded() {
+		t.Fatal("not degraded past the deadline")
+	}
+	d, ok := eng.Degraded()
+	if !ok || d.Verdict != policy.VerdictDrop {
+		t.Fatalf("engine override = %+v, %v (want fail-closed drop)", d, ok)
+	}
+	s := st.Stats()
+	if !s.Degraded || s.DegradedEnters != 1 || s.FailMode != "fail-closed" {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// Recovery: the backend returns; the unchanged document is enough.
+	src.setDown(false)
+	if _, err := st.Reload(); err != nil {
+		t.Fatalf("recovery reload: %v", err)
+	}
+	if st.Degraded() {
+		t.Fatal("still degraded after recovery")
+	}
+	if _, ok := eng.Degraded(); ok {
+		t.Fatal("engine override survived recovery")
+	}
+	if st.Stats().DegradedEnters != 1 {
+		t.Fatalf("DegradedEnters = %d after recovery", st.Stats().DegradedEnters)
+	}
+}
+
+// TestStalenessFailOpen: same transition, but the degraded posture admits
+// everything.
+func TestStalenessFailOpen(t *testing.T) {
+	st, eng, src, now := staleFixture(t, FailOpen)
+	src.setDown(true)
+	*now = 2 * time.Minute
+	st.Reload()
+	if !st.Degraded() {
+		t.Fatal("not degraded past the deadline")
+	}
+	if d, ok := eng.Degraded(); !ok || d.Verdict != policy.VerdictAllow {
+		t.Fatalf("engine override = %+v, %v (want fail-open allow)", d, ok)
+	}
+}
+
+// TestStalenessFailStatic: the default posture never degrades — the
+// last-good rules serve forever.
+func TestStalenessFailStatic(t *testing.T) {
+	st, eng, src, now := staleFixture(t, FailStatic)
+	src.setDown(true)
+	*now = 24 * time.Hour
+	st.Reload()
+	if st.Degraded() || st.CheckStale() {
+		t.Fatal("fail-static store degraded")
+	}
+	if _, ok := eng.Degraded(); ok {
+		t.Fatal("fail-static store set an engine override")
+	}
+}
+
+// TestLastGoodAge tracks the virtual clock and resets on healthy cycles.
+func TestLastGoodAge(t *testing.T) {
+	st, _, src, now := staleFixture(t, FailClosed)
+	if got := st.LastGoodAge(); got != 0 {
+		t.Fatalf("age after load = %v", got)
+	}
+	*now = 45 * time.Second
+	if got := st.LastGoodAge(); got != 45*time.Second {
+		t.Fatalf("age = %v, want 45s", got)
+	}
+	if got := st.Stats().LastGoodAge; got != 45*time.Second {
+		t.Fatalf("stats age = %v, want 45s", got)
+	}
+	if _, err := st.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LastGoodAge(); got != 0 {
+		t.Fatalf("age after healthy reload = %v, want 0", got)
+	}
+	// A failed cycle does not refresh the age.
+	src.setDown(true)
+	*now = 50 * time.Second
+	st.Reload()
+	if got := st.LastGoodAge(); got != 5*time.Second {
+		t.Fatalf("age after failed reload = %v, want 5s", got)
+	}
+}
+
+// TestParseFailMode covers the flag-facing parser.
+func TestParseFailMode(t *testing.T) {
+	cases := map[string]FailMode{
+		"":            FailStatic,
+		"static":      FailStatic,
+		"open":        FailOpen,
+		"fail-open":   FailOpen,
+		"closed":      FailClosed,
+		"fail-closed": FailClosed,
+	}
+	for in, want := range cases {
+		got, err := ParseFailMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFailMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFailMode("explode"); err == nil {
+		t.Error("ParseFailMode accepted garbage")
+	}
+}
+
+// TestJitterBounds: poll jitter stays within ±20% of the interval, so the
+// backoff never collapses to zero or doubles the configured cadence.
+func TestJitterBounds(t *testing.T) {
+	const d = time.Second
+	for i := 0; i < 1000; i++ {
+		j := jitter(d)
+		if j < 4*d/5 || j > 6*d/5 {
+			t.Fatalf("jitter(%v) = %v outside [0.8d, 1.2d]", d, j)
+		}
+	}
+	if jitter(0) != 0 || jitter(-time.Second) != -time.Second {
+		t.Fatal("non-positive intervals must pass through")
+	}
+}

@@ -42,6 +42,20 @@ func fuzzSeedSegments() [][]byte {
 func FuzzParseTCP(f *testing.F) {
 	for _, seed := range fuzzSeedSegments() {
 		f.Add(seed)
+		// Fault-layer damage shapes: one corrupted byte in the header, one
+		// in the payload, and a mid-header truncation, so the corpus starts
+		// from the same surface the netsim chaos plan exercises.
+		if len(seed) >= TCPHeaderLen {
+			dam := append([]byte(nil), seed...)
+			dam[2] ^= 0xff // dst-port byte
+			f.Add(dam)
+			f.Add(seed[:TCPHeaderLen/2])
+		}
+		if len(seed) > TCPHeaderLen {
+			dam := append([]byte(nil), seed...)
+			dam[len(dam)-1] ^= 0x01
+			f.Add(dam)
+		}
 	}
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		seg, err := ParseTCP(raw)
@@ -80,7 +94,13 @@ func FuzzParseUDP(f *testing.F) {
 		{SrcPort: 40002, DstPort: 53, Payload: bytes.Repeat([]byte{0}, 512)},
 	}
 	for _, d := range seeds {
-		f.Add(d.Marshal())
+		raw := d.Marshal()
+		f.Add(raw)
+		// Fault-layer damage shapes (see FuzzParseTCP).
+		dam := append([]byte(nil), raw...)
+		dam[1] ^= 0xff
+		f.Add(dam)
+		f.Add(raw[:len(raw)/2])
 	}
 	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
 	f.Add([]byte{0, 53, 0, 80, 0, 8})
