@@ -47,6 +47,7 @@ import (
 	"borderpatrol/internal/httpsim"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/policystore"
@@ -254,7 +255,12 @@ type Deployment struct {
 	network   *netsim.Network
 	audit     *audit.Log
 	policy    *policystore.Store
+	metrics   *metrics.Registry
 }
+
+// MetricsRegistry holds every component's registered instruments and
+// renders them in the Prometheus text format. See Deployment.Metrics.
+type MetricsRegistry = metrics.Registry
 
 // Route selects how packets reach the network (paper §VII): on-premises
 // through the gateway, off-premises work traffic over VPN, personal
@@ -379,6 +385,15 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Clock:     network.Clock,
 	})
 
+	reg := metrics.NewRegistry()
+	enf.RegisterMetrics(reg)
+	network.Gateway.RegisterMetrics(reg)
+	network.RegisterMetrics(reg)
+	auditLog.RegisterMetrics(reg)
+	if store != nil {
+		store.RegisterMetrics(reg)
+	}
+
 	if store != nil {
 		store.Start()
 	}
@@ -392,8 +407,14 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		network:   network,
 		audit:     auditLog,
 		policy:    store,
+		metrics:   reg,
 	}, nil
 }
+
+// Metrics exposes the deployment's metrics registry: every component's
+// counters, gauges and latency histograms, renderable with
+// WritePrometheus or servable with metrics-package Handler.
+func (d *Deployment) Metrics() *MetricsRegistry { return d.metrics }
 
 // Close stops the policy store's hot-reload poller (when a PolicySource is
 // configured), then flushes and stops the asynchronous audit pipeline
@@ -731,6 +752,9 @@ var (
 	// fail-safe invariant (no fault sequence converts a deny into a
 	// delivery).
 	RunSoak = experiments.RunSoak
+	// RunPipelineBench measures the instrumented enforcement paths and
+	// scrapes their latency histograms (machine-readable via WriteJSON).
+	RunPipelineBench = experiments.RunPipelineBench
 )
 
 // Experiment configuration re-exports.
@@ -751,6 +775,12 @@ type (
 	SoakConfig = experiments.SoakConfig
 	// SoakResult reports a soak run (Check asserts its invariants).
 	SoakResult = experiments.SoakResult
+	// SoakSnapshot is one in-run resource reading of a soak run.
+	SoakSnapshot = experiments.SoakSnapshot
+	// PipelineBenchConfig sizes the pipeline benchmark.
+	PipelineBenchConfig = experiments.PipelineBenchConfig
+	// PipelineBenchResult reports the pipeline benchmark.
+	PipelineBenchResult = experiments.PipelineBenchResult
 )
 
 // Default experiment configurations.

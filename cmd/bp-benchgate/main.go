@@ -23,10 +23,12 @@
 //	bp-benchgate -baseline bench/baseline.txt -current new.txt
 //	bp-benchgate -threshold 0.10 ...   # tighten the ns/op gate to 10%
 //	bp-benchgate -allocs-only ...      # cross-machine baseline: gate allocs only
+//	bp-benchgate -json gate.json ...   # machine-readable comparison for dashboards
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,23 +49,48 @@ type sample struct {
 // repetitions.
 type results map[string][]sample
 
+// reportRow is one benchmark comparison in the -json report.
+type reportRow struct {
+	Name        string   `json:"name"`
+	BaseNsPerOp float64  `json:"base_ns_per_op"`
+	NewNsPerOp  float64  `json:"new_ns_per_op"`
+	DeltaPct    float64  `json:"delta_pct"`
+	BaseAllocs  *float64 `json:"base_allocs_per_op,omitempty"`
+	NewAllocs   *float64 `json:"new_allocs_per_op,omitempty"`
+	Missing     bool     `json:"missing,omitempty"`
+	Pass        bool     `json:"pass"`
+}
+
+// report is the -json output: everything the human table shows, plus the
+// verdict, so dashboards and CI annotations can consume the gate without
+// scraping stdout.
+type report struct {
+	Threshold  float64     `json:"threshold"`
+	AllocsOnly bool        `json:"allocs_only"`
+	Benchmarks []reportRow `json:"benchmarks"`
+	Extra      []string    `json:"extra_benchmarks,omitempty"`
+	Failures   []string    `json:"failures,omitempty"`
+	Passed     bool        `json:"passed"`
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "bench/baseline.txt", "committed baseline benchmark output")
 	currentPath := flag.String("current", "", "fresh benchmark output to gate (required)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (fraction)")
 	allocsOnly := flag.Bool("allocs-only", false, "gate only allocs/op (baseline from different hardware)")
+	jsonPath := flag.String("json", "", "also write the per-benchmark comparison as JSON to this path")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "bp-benchgate: -current is required")
 		os.Exit(2)
 	}
-	if err := run(*baselinePath, *currentPath, *threshold, *allocsOnly); err != nil {
+	if err := run(*baselinePath, *currentPath, *threshold, *allocsOnly, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "bp-benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, threshold float64, allocsOnly bool) error {
+func run(baselinePath, currentPath string, threshold float64, allocsOnly bool, jsonPath string) error {
 	base, err := parseFile(baselinePath)
 	if err != nil {
 		return err
@@ -85,12 +112,14 @@ func run(baselinePath, currentPath string, threshold float64, allocsOnly bool) e
 	}
 	sort.Strings(names)
 
+	rep := report{Threshold: threshold, AllocsOnly: allocsOnly}
 	var failures []string
 	fmt.Printf("%-44s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "Δ", "allocs/op")
 	for _, name := range names {
 		bs, cs := base[name], cur[name]
 		if len(cs) == 0 {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the new run", name))
+			rep.Benchmarks = append(rep.Benchmarks, reportRow{Name: name, BaseNsPerOp: medianNs(bs), Missing: true})
 			continue
 		}
 		bNs, cNs := medianNs(bs), medianNs(cs)
@@ -104,17 +133,44 @@ func run(baselinePath, currentPath string, threshold float64, allocsOnly bool) e
 		}
 		fmt.Printf("%-44s %14.2f %14.2f %+7.1f%%  %s\n", name, bNs, cNs, 100*delta, allocNote)
 
+		pass := true
 		if !allocsOnly && delta > threshold {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.2f -> %.2f, threshold %.0f%%)",
 				name, 100*delta, bNs, cNs, 100*threshold))
+			pass = false
 		}
 		if bHas && cHas && cAllocs > bAllocs {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed (%.0f -> %.0f)", name, bAllocs, cAllocs))
+			pass = false
 		}
+		row := reportRow{Name: name, BaseNsPerOp: bNs, NewNsPerOp: cNs, DeltaPct: 100 * delta, Pass: pass}
+		if bHas {
+			row.BaseAllocs = &bAllocs
+		}
+		if cHas {
+			row.NewAllocs = &cAllocs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
 			fmt.Printf("note: %s is not in the baseline (add it on the next baseline refresh)\n", name)
+			rep.Extra = append(rep.Extra, name)
+		}
+	}
+	sort.Strings(rep.Extra)
+
+	rep.Failures = failures
+	rep.Passed = len(failures) == 0
+	if jsonPath != "" {
+		// Written before the verdict so CI can archive the report from a
+		// failing gate run too.
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding -json report: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing -json report: %w", err)
 		}
 	}
 

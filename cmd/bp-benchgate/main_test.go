@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,7 +46,7 @@ func TestParseStripsCPUSuffixAndIgnoresCustomMetrics(t *testing.T) {
 func TestGatePassesWithinThreshold(t *testing.T) {
 	base := write(t, "base.txt", baseOut)
 	cur := write(t, "cur.txt", strings.ReplaceAll(baseOut, "105.0", "118.0"))
-	if err := run(base, cur, 0.20, false); err != nil {
+	if err := run(base, cur, 0.20, false, ""); err != nil {
 		t.Fatalf("gate failed within threshold: %v", err)
 	}
 }
@@ -56,7 +57,7 @@ func TestGateFailsOnTimeRegression(t *testing.T) {
 BenchmarkProcessFlowHit-8  10000000  140.0 ns/op  0 B/op  0 allocs/op
 BenchmarkRecord-8          30000000   37.0 ns/op  0 B/op  0 allocs/op
 `)
-	if err := run(base, cur, 0.20, false); err == nil {
+	if err := run(base, cur, 0.20, false, ""); err == nil {
 		t.Fatal("gate passed a 33% ns/op regression")
 	}
 }
@@ -67,7 +68,7 @@ func TestGateFailsOnAnyAllocRegression(t *testing.T) {
 BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  16 B/op  1 allocs/op
 BenchmarkRecord-8          30000000   37.0 ns/op   0 B/op  0 allocs/op
 `)
-	if err := run(base, cur, 0.20, false); err == nil {
+	if err := run(base, cur, 0.20, false, ""); err == nil {
 		t.Fatal("gate passed an allocs/op regression")
 	}
 }
@@ -77,7 +78,7 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	cur := write(t, "cur.txt", `
 BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  0 B/op  0 allocs/op
 `)
-	if err := run(base, cur, 0.20, false); err == nil {
+	if err := run(base, cur, 0.20, false, ""); err == nil {
 		t.Fatal("gate passed with a gated benchmark missing from the run")
 	}
 }
@@ -87,7 +88,7 @@ func TestGateToleratesExtraNewBenchmarks(t *testing.T) {
 	cur := write(t, "cur.txt", baseOut+`
 BenchmarkBrandNew-8  1000  900.0 ns/op  0 B/op  0 allocs/op
 `)
-	if err := run(base, cur, 0.20, false); err != nil {
+	if err := run(base, cur, 0.20, false, ""); err != nil {
 		t.Fatalf("gate failed on an extra benchmark: %v", err)
 	}
 }
@@ -97,25 +98,93 @@ BenchmarkBrandNew-8  1000  900.0 ns/op  0 B/op  0 allocs/op
 func TestAllocsOnlySkipsTimeGate(t *testing.T) {
 	base := write(t, "base.txt", baseOut)
 	slow := write(t, "slow.txt", strings.ReplaceAll(baseOut, "105.0", "400.0"))
-	if err := run(base, slow, 0.20, true); err != nil {
+	if err := run(base, slow, 0.20, true, ""); err != nil {
 		t.Fatalf("allocs-only gate failed on a time-only delta: %v", err)
 	}
 	leaky := write(t, "leaky.txt", `
 BenchmarkProcessFlowHit-8  10000000  100.0 ns/op  16 B/op  1 allocs/op
 BenchmarkRecord-8          30000000   37.0 ns/op   0 B/op  0 allocs/op
 `)
-	if err := run(base, leaky, 0.20, true); err == nil {
+	if err := run(base, leaky, 0.20, true, ""); err == nil {
 		t.Fatal("allocs-only gate passed an allocs/op regression")
+	}
+}
+
+// TestJSONReport: the -json report carries the full comparison — rows,
+// deltas, extra benchmarks, failures, verdict — and is written even when
+// the gate fails, so CI can archive it either way.
+func TestJSONReport(t *testing.T) {
+	base := write(t, "base.txt", baseOut)
+	cur := write(t, "cur.txt", `
+BenchmarkProcessFlowHit-8  10000000  140.0 ns/op  0 B/op  0 allocs/op
+BenchmarkRecord-8          30000000   37.0 ns/op  0 B/op  0 allocs/op
+BenchmarkBrandNew-8            1000  900.0 ns/op  0 B/op  0 allocs/op
+`)
+	jsonPath := filepath.Join(t.TempDir(), "gate.json")
+	if err := run(base, cur, 0.20, false, jsonPath); err == nil {
+		t.Fatal("gate passed a 33% ns/op regression")
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report not written on failure: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Passed {
+		t.Error("report claims the failing gate passed")
+	}
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "BenchmarkProcessFlowHit") {
+		t.Errorf("failures = %v, want the ProcessFlowHit regression", rep.Failures)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmark rows = %d, want 2", len(rep.Benchmarks))
+	}
+	var hit *reportRow
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "BenchmarkProcessFlowHit" {
+			hit = &rep.Benchmarks[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("no row for BenchmarkProcessFlowHit")
+	}
+	if hit.Pass || hit.BaseNsPerOp != 105.0 || hit.NewNsPerOp != 140.0 {
+		t.Errorf("hit row = %+v, want fail with 105 -> 140", *hit)
+	}
+	if hit.BaseAllocs == nil || *hit.BaseAllocs != 0 {
+		t.Errorf("hit base allocs = %v, want 0", hit.BaseAllocs)
+	}
+	if len(rep.Extra) != 1 || rep.Extra[0] != "BenchmarkBrandNew" {
+		t.Errorf("extra = %v, want [BenchmarkBrandNew]", rep.Extra)
+	}
+
+	// A clean run reports passed with no failures.
+	okPath := filepath.Join(t.TempDir(), "ok.json")
+	if err := run(base, base, 0.20, false, okPath); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	raw, err = os.ReadFile(okPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = report{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed || len(rep.Failures) != 0 {
+		t.Errorf("clean report = passed=%v failures=%v", rep.Passed, rep.Failures)
 	}
 }
 
 func TestGateRejectsEmptyInputs(t *testing.T) {
 	base := write(t, "base.txt", baseOut)
 	empty := write(t, "empty.txt", "no benchmarks here\n")
-	if err := run(empty, base, 0.20, false); err == nil {
+	if err := run(empty, base, 0.20, false, ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
-	if err := run(base, empty, 0.20, false); err == nil {
+	if err := run(base, empty, 0.20, false, ""); err == nil {
 		t.Fatal("empty current run accepted")
 	}
 }

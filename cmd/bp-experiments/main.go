@@ -29,9 +29,10 @@ func main() {
 }
 
 func run() error {
-	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|all")
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|pipeline|all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
 	seed := flag.Int64("seed", 2019, "corpus seed")
+	benchJSON := flag.String("bench-json", "BENCH_pipeline.json", "machine-readable output path for the pipeline benchmark")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -190,6 +191,26 @@ func run() error {
 			return err
 		}
 		fmt.Println("all soak invariants held")
+	}
+
+	if all || want["pipeline"] {
+		section("E14 — Instrumented pipeline benchmark")
+		cfg := experiments.DefaultPipelineBenchConfig()
+		cfg.Seed = *seed
+		if !*paperScale {
+			cfg.Iterations = 100_000
+		}
+		res, err := experiments.RunPipelineBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		if *benchJSON != "" {
+			if err := res.WriteJSON(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
 	}
 	return nil
 }

@@ -33,12 +33,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/audit"
 	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/monkey"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/policystore"
@@ -64,6 +68,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "gateway batch-drain workers (0 = GOMAXPROCS)")
 	noFlowCache := flag.Bool("no-flow-cache", false, "disable per-flow verdict caching")
 	auditPath := flag.String("audit", "", "write the enforcement audit trail (JSON lines) to this file")
+	auditRotateBytes := flag.Int64("audit-rotate-bytes", 0, "rotate the -audit file when it reaches this size (0 = never)")
+	auditRotateKeep := flag.Int("audit-rotate-keep", 4, "rotated -audit files to keep beside the active one")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090) at /metrics")
+	linger := flag.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the session")
 	flag.Parse()
 
 	set := 0
@@ -92,12 +100,21 @@ func run() error {
 
 	var auditW io.Writer
 	if *auditPath != "" {
-		f, err := os.Create(*auditPath)
-		if err != nil {
-			return err
+		if *auditRotateBytes > 0 {
+			rw, err := audit.NewRotatingWriter(*auditPath, *auditRotateBytes, *auditRotateKeep)
+			if err != nil {
+				return err
+			}
+			defer rw.Close()
+			auditW = rw
+		} else {
+			f, err := os.Create(*auditPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			auditW = f
 		}
-		defer f.Close()
-		auditW = f
 	}
 
 	var rules []policy.Rule
@@ -145,6 +162,19 @@ func run() error {
 		}
 	}
 
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", tb.Metrics.Handler())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
+
 	totalPackets, delivered := 0, 0
 	for i, app := range tb.Apps {
 		rep, err := monkey.Run(app, monkey.Config{
@@ -164,59 +194,55 @@ func run() error {
 
 	fmt.Printf("\ngateway session: %d apps, %d monkey events each\n", len(tb.Apps), *events)
 	fmt.Printf("packets seen: %d, delivered: %d, dropped: %d\n", totalPackets, delivered, totalPackets-delivered)
-	st := tb.Enforcer.Stats()
-	fmt.Printf("enforcer: processed=%d accepted=%d dropped=%d\n", st.Processed, st.Accepted, st.Dropped)
-	causes := make([]string, 0, len(st.DroppedByCause))
-	for c := range st.DroppedByCause {
-		causes = append(causes, c.String())
-	}
-	sort.Strings(causes)
-	for _, c := range causes {
-		for cause, n := range st.DroppedByCause {
-			if cause.String() == c {
-				fmt.Printf("  dropped (%s): %d\n", c, n)
-			}
-		}
-	}
-	fl := st.Flow
-	fmt.Printf("flow table: %d hits (+%d batch-memo), %d misses, %d evictions, %d stale, %d neg-cache drops, %d live flows\n",
-		fl.Hits, st.BatchMemoHits, fl.Misses, fl.Evictions, fl.StaleDrops, fl.AdmissionDrops, fl.Live)
-	ct := tb.Network.Gateway.Conntrack()
-	fmt.Printf("conntrack: %d connections established, %d closed (flow verdicts torn down), %d open\n",
-		ct.Established, ct.Closed, ct.Open)
-	if tb.Policy != nil {
-		ps := tb.Policy.Stats()
-		fmt.Printf("policy store: %d applied, %d unchanged, %d rejected (last-good kept), revision %s, %d rules\n",
-			ps.Applied, ps.Unchanged, ps.Failures, ps.Version, ps.Rules)
-		if ps.LastError != "" {
-			fmt.Printf("  last rejected candidate: %s\n", ps.LastError)
-		}
-		if *policyMaxStale > 0 {
-			state := "healthy"
-			if ps.Degraded {
-				state = fmt.Sprintf("DEGRADED (%s)", ps.FailMode)
-			}
-			fmt.Printf("  staleness: %s, last good %s ago, %d degraded windows\n",
-				state, ps.LastGoodAge.Round(time.Millisecond), ps.DegradedEnters)
-		}
+	if ps := tb.Policy.Stats(); ps.LastError != "" {
+		fmt.Printf("last rejected policy candidate: %s\n", ps.LastError)
 	}
 	// Flush-on-close so every decision reaches the -audit file before the
 	// stats are printed.
 	if err := tb.Close(); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
-	au := tb.Audit.Stats()
-	fmt.Printf("audit: %d decisions recorded, %d dropped (backpressure), %d drained in %d bursts\n",
-		au.Recorded, au.Dropped, au.Drained, au.Flushes)
-	es := tb.Engine.Stats()
-	ruleHits := uint64(0)
-	for _, n := range es.RuleHits {
-		ruleHits += n
-	}
-	fmt.Printf("policy engine: evaluations=%d rule-hits=%d default-hits=%d\n",
-		es.Evaluations, ruleHits, es.DefaultHits)
+	// The stats printout walks the metrics registry: every instrument a
+	// component registered shows up here automatically — no hand-listed
+	// fields to fall out of date when a layer grows a counter.
+	printRegistry(tb.Metrics)
 	cm := tb.Manager.Stats()
 	fmt.Printf("context manager: sockets tagged=%d, frames resolved=%d, framework frames filtered=%d\n",
 		cm.SocketsTagged, cm.FramesResolved, cm.FramesDropped)
+
+	if *linger > 0 {
+		fmt.Printf("lingering %s for scrapers...\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
+}
+
+// printRegistry renders every registered series, one line per sample.
+// Histograms print count, mean and the tail quantiles instead of raw
+// buckets — the interactive rendering of what /metrics exposes in full.
+func printRegistry(r *metrics.Registry) {
+	for _, s := range r.Snapshot() {
+		var lb strings.Builder
+		for i, l := range s.Labels {
+			if i == 0 {
+				lb.WriteByte('{')
+			} else {
+				lb.WriteByte(',')
+			}
+			fmt.Fprintf(&lb, "%s=%q", l.Key, l.Value)
+		}
+		if len(s.Labels) > 0 {
+			lb.WriteByte('}')
+		}
+		switch {
+		case s.Hist != nil:
+			fmt.Printf("%s%s count=%d mean=%.0f p50=%d p99=%d p999=%d\n",
+				s.Name, lb.String(), s.Hist.Count(), s.Hist.Mean(),
+				s.Hist.Quantile(0.5), s.Hist.Quantile(0.99), s.Hist.Quantile(0.999))
+		case s.Kind == metrics.KindGauge:
+			fmt.Printf("%s%s %g\n", s.Name, lb.String(), s.Value)
+		default:
+			fmt.Printf("%s%s %.0f\n", s.Name, lb.String(), s.Value)
+		}
+	}
 }

@@ -56,6 +56,7 @@ import (
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/policy"
 )
 
@@ -168,6 +169,11 @@ type Log struct {
 	drained atomic.Uint64
 	flushes atomic.Uint64
 
+	// batchSizes distributes drain-burst sizes: a healthy pipeline drains
+	// near BatchSize; a starved one drains dribbles, a backlogged one
+	// drains the whole queue. Recorded on the drainer goroutine only.
+	batchSizes *metrics.Histogram
+
 	// Drainer-owned scratch: swapped-out stripe buffers are merged into
 	// batch, then cleared and handed back as spares.
 	batch  []rawEntry
@@ -229,6 +235,7 @@ func NewWithConfig(cfg Config) *Log {
 		done:       make(chan struct{}),
 		spares:     make([][]rawEntry, p),
 		dropsByApp: make(map[string]uint64),
+		batchSizes: metrics.NewHistogram(),
 	}
 	for i := range l.stripes {
 		l.stripes[i].buf = make([]rawEntry, 0, per)
@@ -470,6 +477,7 @@ func (l *Log) drain() {
 	}
 	l.drained.Add(uint64(len(batch)))
 	l.flushes.Add(1)
+	l.batchSizes.Record(int64(len(batch)))
 	clear(batch)
 	l.batch = batch[:0]
 }
@@ -595,6 +603,29 @@ func (l *Log) Stats() Stats {
 		Drained:  drained,
 		Flushes:  l.flushes.Load(),
 		Pending:  pending,
+	}
+}
+
+// RegisterMetrics attaches the audit pipeline's counters — recorded and
+// dropped entries, queue depth, and the drain-burst-size histogram — to a
+// registry. A no-op on a nil log, so enforcement-off deployments can
+// register unconditionally.
+func (l *Log) RegisterMetrics(r *metrics.Registry) {
+	if l == nil {
+		return
+	}
+	r.CounterFunc("bp_audit_recorded_total", "Decisions accepted onto producer stripes.",
+		func() uint64 { return l.Stats().Recorded })
+	r.CounterFunc("bp_audit_dropped_total", "Decisions shed because the bounded queue was full.",
+		l.dropped.Load)
+	r.CounterFunc("bp_audit_drained_total", "Entries the background drainer has written out.",
+		l.drained.Load)
+	r.CounterFunc("bp_audit_flushes_total", "Drain bursts that did work.", l.flushes.Load)
+	r.GaugeFunc("bp_audit_queue_depth", "Entries recorded but not yet drained.",
+		func() float64 { return float64(l.Stats().Pending) })
+	r.RegisterHistogram("bp_audit_batch_size", "Entries per drain burst.", l.batchSizes)
+	if rw, ok := l.w.(*RotatingWriter); ok {
+		rw.RegisterMetrics(r)
 	}
 }
 

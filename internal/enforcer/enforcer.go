@@ -25,13 +25,15 @@ package enforcer
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"borderpatrol/internal/analyzer"
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/tag"
 	"borderpatrol/internal/transport"
@@ -155,6 +157,53 @@ type scratch struct {
 	stack []dex.Signature
 }
 
+// Latency sampling masks. The hot paths cannot afford two time.Now calls
+// per packet (~40–50 ns against a ~100 ns cache-hit budget), so latency
+// histograms are fed from a uniform sample: a packet is timed when a
+// per-M fastrand word masks to zero. Sampling is unbiased (the decision
+// is taken before the timed work starts) and the untimed packets pay only
+// the ~2 ns rand draw and a branch.
+const (
+	// hitSampleMask times 1-in-64 cache-hit packets — the path runs
+	// millions of times a second, so the histogram stays dense anyway.
+	hitSampleMask = 63
+	// missSampleMask times 1-in-16 full-pipeline misses (one per flow in
+	// the steady state; floods still produce ample samples).
+	missSampleMask = 15
+	// evalSampleMask times 1-in-16 policy-engine evaluations.
+	evalSampleMask = 15
+)
+
+// instruments is the enforcer's always-on latency telemetry. The
+// histograms are allocation-free fixed arrays (~1 KiB each) recorded with
+// two atomic adds, so they exist whether or not a registry ever scrapes
+// them — the gated benchmarks measure the instrumented path.
+type instruments struct {
+	// hitLatency is the sampled flow-cache-hit Process latency (scalar
+	// path; the batched drain reports per-burst figures instead).
+	hitLatency *metrics.Histogram
+	// missLatency is the sampled full extract–decode–evaluate pipeline
+	// latency (flow-cache misses and uncached configurations).
+	missLatency *metrics.Histogram
+	// evalLatency is the sampled policy-engine Evaluate latency (stage 3
+	// alone, a subset of missLatency).
+	evalLatency *metrics.Histogram
+	// batchLatency is the whole-ProcessBatch wall time; batchPackets the
+	// burst size, so ns/packet is derivable per quantile band.
+	batchLatency *metrics.Histogram
+	batchPackets *metrics.Histogram
+}
+
+func newInstruments() instruments {
+	return instruments{
+		hitLatency:   metrics.NewHistogram(),
+		missLatency:  metrics.NewHistogram(),
+		evalLatency:  metrics.NewHistogram(),
+		batchLatency: metrics.NewHistogram(),
+		batchPackets: metrics.NewHistogram(),
+	}
+}
+
 // Enforcer evaluates packets against a policy using a signature database.
 // It is safe for concurrent use and scales across cores: counters are
 // atomic, the per-packet scratch is pooled, and the optional flow cache is
@@ -169,22 +218,34 @@ type Enforcer struct {
 
 	scratches sync.Pool // *scratch, reused across packets
 
-	accepted       atomic.Uint64
-	dropped        atomic.Uint64
-	droppedByCause [dropCauseCount]atomic.Uint64
-	batchMemoHits  atomic.Uint64
+	// Outcome counters are striped metrics counters (one atomic add per
+	// packet, padded shards on multi-core), summed only by Stats/scrapes.
+	accepted       *metrics.Counter
+	dropped        *metrics.Counter
+	droppedByCause [dropCauseCount]*metrics.Counter
+	batchMemoHits  *metrics.Counter
+
+	ins instruments
 }
 
 // New builds an enforcer.
 func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
-	return &Enforcer{
-		cfg:       cfg,
-		db:        db,
-		engine:    engine,
-		flows:     cfg.Flows,
-		audit:     cfg.Audit,
-		scratches: sync.Pool{New: func() any { return new(scratch) }},
+	e := &Enforcer{
+		cfg:           cfg,
+		db:            db,
+		engine:        engine,
+		flows:         cfg.Flows,
+		audit:         cfg.Audit,
+		scratches:     sync.Pool{New: func() any { return new(scratch) }},
+		accepted:      metrics.NewCounter(),
+		dropped:       metrics.NewCounter(),
+		batchMemoHits: metrics.NewCounter(),
+		ins:           newInstruments(),
 	}
+	for c := range e.droppedByCause {
+		e.droppedByCause[c] = metrics.NewCounter()
+	}
+	return e
 }
 
 // Engine exposes the policy engine (for central reconfiguration).
@@ -244,11 +305,11 @@ func (e *Enforcer) Process(pkt *ipv4.Packet) Result {
 // one counter update per packet).
 func (e *Enforcer) count(res Result) {
 	if res.Verdict == policy.VerdictAllow {
-		e.accepted.Add(1)
+		e.accepted.Inc()
 	} else {
-		e.dropped.Add(1)
+		e.dropped.Inc()
 		if res.Cause >= 0 && int(res.Cause) < len(e.droppedByCause) {
-			e.droppedByCause[res.Cause].Add(1)
+			e.droppedByCause[res.Cause].Inc()
 		}
 	}
 }
@@ -260,7 +321,7 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 		return e.untagged()
 	}
 	if e.flows == nil {
-		return e.evaluateTag(opt.Data)
+		return e.timedEvaluate(opt.Data)
 	}
 	// Fast path: probe the flow table on the raw tag bytes. The generation
 	// is read before the probe (and before any evaluation) so that a
@@ -269,13 +330,35 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 	gen := e.generation()
 	var key flowtable.Key
 	if !flowKey(&key, pkt, opt.Data) {
-		return e.evaluateTag(opt.Data)
+		return e.timedEvaluate(opt.Data)
+	}
+	// The sampling decision precedes the probe so the timed subset is an
+	// unbiased slice of lookups; untimed packets pay one fastrand draw.
+	var hitStart time.Time
+	timed := rand.Uint32()&hitSampleMask == 0
+	if timed {
+		hitStart = time.Now()
 	}
 	if res, ok := e.flows.Lookup(key, gen); ok {
+		if timed {
+			e.ins.hitLatency.Record(time.Since(hitStart).Nanoseconds())
+		}
 		return res
 	}
-	res := e.evaluateTag(opt.Data)
+	res := e.timedEvaluate(opt.Data)
 	e.flows.Insert(key, gen, res)
+	return res
+}
+
+// timedEvaluate runs the full miss pipeline, recording its latency for a
+// sampled subset of calls.
+func (e *Enforcer) timedEvaluate(data []byte) Result {
+	if rand.Uint32()&missSampleMask != 0 {
+		return e.evaluateTag(data)
+	}
+	start := time.Now()
+	res := e.evaluateTag(data)
+	e.ins.missLatency.Record(time.Since(start).Nanoseconds())
 	return res
 }
 
@@ -314,8 +397,15 @@ func (e *Enforcer) evaluateTag(data []byte) Result {
 	}
 	sc.stack = stack // retain grown capacity for the next packet
 
-	// Stage 3: enforcement.
-	decision := e.engine.Evaluate(sc.tag.AppHash, stack)
+	// Stage 3: enforcement (latency sampled; see instruments).
+	var decision policy.Decision
+	if rand.Uint32()&evalSampleMask == 0 {
+		evalStart := time.Now()
+		decision = e.engine.Evaluate(sc.tag.AppHash, stack)
+		e.ins.evalLatency.Record(time.Since(evalStart).Nanoseconds())
+	} else {
+		decision = e.engine.Evaluate(sc.tag.AppHash, stack)
+	}
 	res := Result{
 		Verdict: decision.Verdict,
 		AppHash: sc.tag.AppHash,
@@ -346,6 +436,9 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 	} else {
 		out = out[:0]
 	}
+	// Per-burst timing: two clock reads and two histogram records for the
+	// whole batch (~1 ns/packet at the default burst size), not per packet.
+	batchStart := time.Now()
 	var (
 		memoKey   flowtable.Key
 		memoGen   uint64
@@ -359,22 +452,22 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 		case !tagged:
 			res = e.untagged()
 		case e.flows == nil:
-			res = e.evaluateTag(opt.Data)
+			res = e.timedEvaluate(opt.Data)
 		default:
 			gen := e.generation()
 			var key flowtable.Key
 			cacheable := flowKey(&key, pkt, opt.Data)
 			switch {
 			case !cacheable:
-				res = e.evaluateTag(opt.Data)
+				res = e.timedEvaluate(opt.Data)
 			case memoValid && key == memoKey && gen == memoGen:
 				res = memoRes
-				e.batchMemoHits.Add(1)
+				e.batchMemoHits.Inc()
 			default:
 				if cached, ok := e.flows.Lookup(key, gen); ok {
 					res = cached
 				} else {
-					res = e.evaluateTag(opt.Data)
+					res = e.timedEvaluate(opt.Data)
 					e.flows.Insert(key, gen, res)
 				}
 				memoKey, memoGen, memoRes, memoValid = key, gen, res, true
@@ -387,6 +480,10 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 		// One audit charge for the whole burst (a single stripe lock in the
 		// async pipeline), not one per packet.
 		e.audit.RecordBatch(pkts, out)
+	}
+	if len(pkts) > 0 {
+		e.ins.batchLatency.Record(time.Since(batchStart).Nanoseconds())
+		e.ins.batchPackets.Record(int64(len(pkts)))
 	}
 	return out
 }
@@ -434,17 +531,17 @@ func (e *Enforcer) PurgeFlows() {
 
 // Stats returns a snapshot of the counters.
 func (e *Enforcer) Stats() Stats {
-	accepted := e.accepted.Load()
-	dropped := e.dropped.Load()
+	accepted := e.accepted.Value()
+	dropped := e.dropped.Value()
 	out := Stats{
 		Processed:      accepted + dropped,
 		Accepted:       accepted,
 		Dropped:        dropped,
 		DroppedByCause: make(map[DropCause]uint64),
-		BatchMemoHits:  e.batchMemoHits.Load(),
+		BatchMemoHits:  e.batchMemoHits.Value(),
 	}
 	for c := range e.droppedByCause {
-		if n := e.droppedByCause[c].Load(); n > 0 {
+		if n := e.droppedByCause[c].Value(); n > 0 {
 			out.DroppedByCause[DropCause(c)] = n
 		}
 	}
@@ -452,4 +549,61 @@ func (e *Enforcer) Stats() Stats {
 		out.Flow = e.flows.Stats()
 	}
 	return out
+}
+
+// RegisterMetrics attaches the enforcer's instruments — verdict and
+// drop-cause counters, the sampled latency histograms, the flow-cache
+// counters, and the policy engine's evaluation counters — to a registry.
+// Everything except the histograms is exported through scrape-time
+// closures over counters the enforcer already maintains, so registration
+// adds zero hot-path cost.
+func (e *Enforcer) RegisterMetrics(r *metrics.Registry) {
+	const verdictHelp = "Enforcement verdicts by decision."
+	r.CounterFunc("bp_enforcer_verdicts_total", verdictHelp, e.accepted.Value, metrics.L("decision", "allow"))
+	r.CounterFunc("bp_enforcer_verdicts_total", verdictHelp, e.dropped.Value, metrics.L("decision", "drop"))
+	for c := DropUntagged; c < dropCauseCount; c++ {
+		r.CounterFunc("bp_enforcer_drops_total", "Dropped packets by cause.",
+			e.droppedByCause[c].Value, metrics.L("cause", c.String()))
+	}
+	r.CounterFunc("bp_enforcer_batch_memo_hits_total",
+		"Packets answered by the batch drain's same-flow memo without a flow-table probe.",
+		e.batchMemoHits.Value)
+
+	r.RegisterHistogram("bp_enforcer_cache_hit_latency_ns",
+		"Flow-cache-hit Process latency (sampled 1/64).", e.ins.hitLatency)
+	r.RegisterHistogram("bp_enforcer_cache_miss_latency_ns",
+		"Full extract-decode-evaluate pipeline latency (sampled 1/16).", e.ins.missLatency)
+	r.RegisterHistogram("bp_enforcer_evaluate_latency_ns",
+		"Policy-engine Evaluate latency (sampled 1/16).", e.ins.evalLatency)
+	r.RegisterHistogram("bp_enforcer_batch_latency_ns",
+		"ProcessBatch wall time per burst.", e.ins.batchLatency)
+	r.RegisterHistogram("bp_enforcer_batch_packets",
+		"Packets per ProcessBatch burst.", e.ins.batchPackets)
+
+	if fl := e.flows; fl != nil {
+		r.CounterFunc("bp_flowtable_hits_total", "Flow-cache lookups answered without decoding.",
+			func() uint64 { return fl.Stats().Hits })
+		r.CounterFunc("bp_flowtable_misses_total", "Flow-cache lookups that paid the full pipeline.",
+			func() uint64 { return fl.Stats().Misses })
+		r.CounterFunc("bp_flowtable_inserts_total", "Flow-cache entries inserted.",
+			func() uint64 { return fl.Stats().Inserts })
+		r.CounterFunc("bp_flowtable_evictions_total", "Flows evicted under capacity pressure.",
+			func() uint64 { return fl.Stats().Evictions })
+		r.CounterFunc("bp_flowtable_stale_drops_total", "Cached verdicts invalidated by a generation change.",
+			func() uint64 { return fl.Stats().StaleDrops })
+		r.CounterFunc("bp_flowtable_expired_drops_total", "Cached verdicts expired by TTL.",
+			func() uint64 { return fl.Stats().ExpiredDrops })
+		r.CounterFunc("bp_flowtable_admission_drops_total", "Inserts refused by the negative-cache admission guard.",
+			func() uint64 { return fl.Stats().AdmissionDrops })
+		r.GaugeFunc("bp_flowtable_live", "Flows currently cached.",
+			func() float64 { return float64(fl.Stats().Live) })
+	}
+
+	eng := e.engine
+	r.CounterFunc("bp_policy_evaluations_total", "Packets that reached the compiled policy engine.",
+		func() uint64 { return eng.Stats().Evaluations })
+	r.CounterFunc("bp_policy_default_hits_total", "Evaluations decided by the default verdict.",
+		func() uint64 { return eng.Stats().DefaultHits })
+	r.CounterFunc("bp_policy_degraded_hits_total", "Packets decided by a degraded-posture override.",
+		func() uint64 { return eng.Stats().DegradedHits })
 }

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/metrics"
+)
+
+// This file implements the pipeline micro-benchmark experiment: the
+// instrumented enforcement paths (scalar cache hit, batched drain, full
+// cache-miss pipeline) measured in-process, with the enforcer's own
+// sampled latency histograms scraped for tail quantiles, and the whole
+// result exportable as machine-readable JSON (BENCH_pipeline.json) for
+// trend tracking outside the Go bench toolchain.
+
+// PipelineBenchConfig sizes the pipeline benchmark.
+type PipelineBenchConfig struct {
+	// Apps sizes the corpus (default 8).
+	Apps int
+	// Iterations is the packet count per measured path (default 200_000).
+	Iterations int
+	// Burst is the batch-path burst size (default 256).
+	Burst int
+	// Seed drives corpus generation (default 2019).
+	Seed int64
+}
+
+// DefaultPipelineBenchConfig returns the standard scale.
+func DefaultPipelineBenchConfig() PipelineBenchConfig {
+	return PipelineBenchConfig{Apps: 8, Iterations: 200_000, Burst: 256, Seed: 2019}
+}
+
+// PipelinePathResult is one measured path.
+type PipelinePathResult struct {
+	// Name identifies the path: process_hit, process_batch, process_miss.
+	Name string `json:"name"`
+	// Packets is how many packets the path processed.
+	Packets int `json:"packets"`
+	// NsPerOp is wall time divided by packets.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// PipelineHistogram is one scraped latency histogram, quantiles derived
+// from the log-bucketed counts (upper-bound estimates, <25% overshoot).
+type PipelineHistogram struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  uint64  `json:"p50_ns"`
+	P99Ns  uint64  `json:"p99_ns"`
+	P999Ns uint64  `json:"p999_ns"`
+}
+
+// PipelineBenchResult reports the benchmark.
+type PipelineBenchResult struct {
+	Paths      []PipelinePathResult `json:"paths"`
+	Histograms []PipelineHistogram  `json:"histograms"`
+}
+
+// Format renders a paper-style summary.
+func (r *PipelineBenchResult) Format() string {
+	out := ""
+	for _, p := range r.Paths {
+		out += fmt.Sprintf("%-14s %9d packets  %8.1f ns/op\n", p.Name, p.Packets, p.NsPerOp)
+	}
+	for _, h := range r.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-36s n=%-8d mean=%-8.0f p50=%-8d p99=%-8d p999=%d\n",
+			h.Name, h.Count, h.MeanNs, h.P50Ns, h.P99Ns, h.P999Ns)
+	}
+	return out
+}
+
+// WriteJSON writes the machine-readable result (BENCH_pipeline.json).
+func (r *PipelineBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pipelinebench: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// RunPipelineBench measures the instrumented enforcement paths end to end
+// on a fully assembled testbed: the scalar cache-hit path, the batched
+// drain, and the uncached full pipeline, then scrapes every latency
+// histogram the components registered.
+func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBenchResult, error) {
+	def := DefaultPipelineBenchConfig()
+	if cfg.Apps <= 0 {
+		cfg.Apps = def.Apps
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = def.Iterations
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = def.Burst
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+
+	gen := apkgen.DefaultConfig()
+	gen.Apps = cfg.Apps
+	gen.Seed = cfg.Seed
+	corpus, err := apkgen.Generate(gen)
+	if err != nil {
+		return nil, fmt.Errorf("pipelinebench: %w", err)
+	}
+	tb, err := NewTestbed(corpus, TestbedConfig{EnforcementOn: true, DisableCapture: true})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	var pool []*ipv4.Packet
+	for i, ga := range corpus {
+		for _, fn := range ga.Functionalities {
+			res, err := tb.Apps[i].Invoke(fn.Name)
+			if err != nil {
+				return nil, fmt.Errorf("pipelinebench: invoke: %w", err)
+			}
+			pool = append(pool, res.Packets...)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("pipelinebench: corpus produced no packets")
+	}
+
+	res := &PipelineBenchResult{}
+	enf := tb.Enforcer
+
+	// Warm the flow cache so the scalar loop below measures the hit path.
+	for _, pkt := range pool {
+		enf.Process(pkt)
+	}
+
+	measure := func(name string, fn func(n int)) {
+		start := time.Now()
+		fn(cfg.Iterations)
+		elapsed := time.Since(start)
+		res.Paths = append(res.Paths, PipelinePathResult{
+			Name:    name,
+			Packets: cfg.Iterations,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(cfg.Iterations),
+		})
+	}
+
+	measure("process_hit", func(n int) {
+		for i := 0; i < n; i++ {
+			enf.Process(pool[i%len(pool)])
+		}
+	})
+
+	measure("process_batch", func(n int) {
+		burst := make([]*ipv4.Packet, 0, cfg.Burst)
+		out := make([]enforcer.Result, 0, cfg.Burst)
+		for done := 0; done < n; {
+			burst = burst[:0]
+			for len(burst) < cfg.Burst && done+len(burst) < n {
+				burst = append(burst, pool[(done+len(burst))%len(pool)])
+			}
+			out = enf.ProcessBatch(burst, out)
+			done += len(burst)
+		}
+	})
+
+	// The uncached pipeline: a cacheless enforcer sharing the testbed's
+	// database and engine, so every packet pays extract+decode+evaluate.
+	missEnf := enforcer.New(enforcer.Config{}, tb.DB, tb.Engine)
+	measure("process_miss", func(n int) {
+		for i := 0; i < n; i++ {
+			missEnf.Process(pool[i%len(pool)])
+		}
+	})
+
+	// Scrape every registered latency histogram (the enforcer's sampled
+	// instruments and anything other layers recorded during the run).
+	for _, s := range tb.Metrics.Snapshot() {
+		if s.Hist == nil {
+			continue
+		}
+		res.Histograms = append(res.Histograms, PipelineHistogram{
+			Name:   s.Name,
+			Count:  s.Hist.Count(),
+			MeanNs: s.Hist.Mean(),
+			P50Ns:  s.Hist.Quantile(0.5),
+			P99Ns:  s.Hist.Quantile(0.99),
+			P999Ns: s.Hist.Quantile(0.999),
+		})
+	}
+	// The miss enforcer is unregistered; export its pipeline histogram
+	// under a distinct name.
+	missReg := metrics.NewRegistry()
+	missEnf.RegisterMetrics(missReg)
+	for _, s := range missReg.Snapshot() {
+		if s.Hist == nil || s.Hist.Count() == 0 {
+			continue
+		}
+		if s.Name == "bp_enforcer_cache_miss_latency_ns" || s.Name == "bp_enforcer_evaluate_latency_ns" {
+			res.Histograms = append(res.Histograms, PipelineHistogram{
+				Name:   "uncached_" + s.Name,
+				Count:  s.Hist.Count(),
+				MeanNs: s.Hist.Mean(),
+				P50Ns:  s.Hist.Quantile(0.5),
+				P99Ns:  s.Hist.Quantile(0.99),
+				P999Ns: s.Hist.Quantile(0.999),
+			})
+		}
+	}
+	return res, nil
+}

@@ -63,6 +63,10 @@ type SoakConfig struct {
 	Seed int64
 	// Dir hosts the hot-reloaded policy file (default: fresh temp dir).
 	Dir string
+	// SnapshotEvery takes an in-run resource snapshot every N epochs
+	// (0 = automatic: epochs/16, at least every epoch), feeding the
+	// leak-trend detection in Check.
+	SnapshotEvery int
 }
 
 // DefaultSoakConfig returns the acceptance-grade configuration: ≥1M
@@ -90,6 +94,26 @@ const (
 	// soakHeapBound caps allowed heap growth across the run.
 	soakHeapBound = 128 << 20
 )
+
+// SoakSnapshot is one in-run resource reading, taken at an epoch close
+// after that epoch's GC sweep — the soak's own scrape. A healthy run's
+// series oscillates with the churn; a leak shows up as a monotone climb
+// long before the end-state assertions would catch an exhausted table.
+type SoakSnapshot struct {
+	// Epoch is the 1-based epoch the snapshot closed.
+	Epoch int
+	// VirtualTime is the virtual clock reading relative to the run start.
+	VirtualTime time.Duration
+	// Packets is the cumulative packet count at the snapshot.
+	Packets int
+	// ConnsOpen and FlowsLive are the post-sweep table sizes.
+	ConnsOpen int
+	FlowsLive int
+	// HeapBytes is the post-GC live heap.
+	HeapBytes int64
+	// AuditPending is the audit queue depth.
+	AuditPending uint64
+}
 
 // SoakResult reports the run. Check returns the first violated invariant.
 type SoakResult struct {
@@ -139,6 +163,10 @@ type SoakResult struct {
 	GCConnsReclaimed int
 	GCFlowsReclaimed int
 
+	// Snapshots are the periodic in-run resource readings; Check runs
+	// leak-trend detection over them.
+	Snapshots []SoakSnapshot
+
 	// Faults snapshots the injected-fault counters.
 	Faults netsim.FaultStats
 	// Conntrack and FlowStats snapshot the final tracker/cache state.
@@ -182,7 +210,57 @@ func (r *SoakResult) Check() error {
 	case r.DegradedEnters < uint64(r.Outages):
 		return fmt.Errorf("soak: %d outages but only %d degraded transitions", r.Outages, r.DegradedEnters)
 	}
+	// Trend detection over the in-run snapshots: a table or the heap
+	// climbing monotonically across the run is a leak even if the final
+	// drain happened to pull the end state back under the bounds.
+	conns := make([]int64, len(r.Snapshots))
+	flows := make([]int64, len(r.Snapshots))
+	heap := make([]int64, len(r.Snapshots))
+	for i, s := range r.Snapshots {
+		conns[i] = int64(s.ConnsOpen)
+		flows[i] = int64(s.FlowsLive)
+		heap[i] = s.HeapBytes
+	}
+	if leakTrend(conns, 64) {
+		return fmt.Errorf("soak: conntrack size trends up across %d snapshots (%d -> %d)",
+			len(conns), conns[0], conns[len(conns)-1])
+	}
+	if leakTrend(flows, 64) {
+		return fmt.Errorf("soak: flowtable size trends up across %d snapshots (%d -> %d)",
+			len(flows), flows[0], flows[len(flows)-1])
+	}
+	if leakTrend(heap, 8<<20) {
+		return fmt.Errorf("soak: heap trends up across %d snapshots (%d -> %d bytes)",
+			len(heap), heap[0], heap[len(heap)-1])
+	}
 	return nil
+}
+
+// leakTrend reports whether a resource series exhibits monotone growth: a
+// leak signature, as opposed to the oscillation of healthy churn. It
+// requires enough samples to be meaningful (≥10), near-monotone steps
+// (≥90% non-decreasing, ≥50% strictly increasing), and material growth
+// (last > 1.5×first and last−first > minAbs) — so a series that climbs to
+// a plateau, oscillates, or grows by noise does not trip it.
+func leakTrend(series []int64, minAbs int64) bool {
+	if len(series) < 10 {
+		return false
+	}
+	first, last := series[0], series[len(series)-1]
+	if last-first <= minAbs || float64(last) <= 1.5*float64(first) {
+		return false
+	}
+	nondec, strict := 0, 0
+	for i := 1; i < len(series); i++ {
+		if series[i] >= series[i-1] {
+			nondec++
+		}
+		if series[i] > series[i-1] {
+			strict++
+		}
+	}
+	steps := len(series) - 1
+	return nondec*10 >= steps*9 && strict*2 >= steps
 }
 
 // heapInUse reports post-GC live heap bytes.
@@ -353,6 +431,17 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	swapsDone := 0
 	degraded := false
 
+	// In-run snapshot cadence: every N epochs (config override), default
+	// ~16 over the planned run, at least every epoch — so even a smoke-size
+	// run yields a series long enough for trend detection.
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = epochs / 16
+		if snapEvery < 1 {
+			snapEvery = 1
+		}
+	}
+
 	// deliverChecked pushes one burst and scores outcomes against the
 	// reference for the active rule set.
 	deliverChecked := func(idxs []int) {
@@ -501,6 +590,20 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		res.GCConnsReclaimed += conns
 		res.GCFlowsReclaimed += flows
 		res.Epochs++
+
+		// In-run snapshot: post-sweep table sizes and post-GC heap, the
+		// series Check's leak-trend detection runs over.
+		if res.Epochs%snapEvery == 0 {
+			res.Snapshots = append(res.Snapshots, SoakSnapshot{
+				Epoch:        res.Epochs,
+				VirtualTime:  tb.Network.Clock.Now() - clockStart,
+				Packets:      res.Packets,
+				ConnsOpen:    gw.Conntrack().Open,
+				FlowsLive:    tb.Enforcer.Stats().Flow.Live,
+				HeapBytes:    heapInUse(),
+				AuditPending: tb.Audit.Stats().Pending,
+			})
+		}
 	}
 
 	// Final drain: everything idles out, then one sweep must leave both

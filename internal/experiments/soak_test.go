@@ -89,4 +89,69 @@ func assertSoakShape(t *testing.T, res *SoakResult, cfg SoakConfig) {
 	if ct.DupCloses == 0 {
 		t.Error("no duplicate closes observed (duplicated FINs should produce them)")
 	}
+	if len(res.Snapshots) < 10 {
+		t.Errorf("in-run snapshots = %d, want >= 10", len(res.Snapshots))
+	}
+	for i, s := range res.Snapshots {
+		if s.Epoch == 0 || s.VirtualTime <= 0 {
+			t.Errorf("snapshot %d not filled in: %+v", i, s)
+		}
+	}
+}
+
+// TestLeakTrendDetectsMonotoneGrowth injects synthetic snapshot series
+// into Check: a steadily climbing conntrack (the half-open-leak signature)
+// must fail the run even though every end-state field is clean.
+func TestLeakTrendDetectsMonotoneGrowth(t *testing.T) {
+	res := &SoakResult{}
+	for i := 0; i < 16; i++ {
+		res.Snapshots = append(res.Snapshots, SoakSnapshot{
+			Epoch:     i + 1,
+			ConnsOpen: 100 + i*50, // 100 -> 850: monotone, >1.5x, >64 absolute
+			FlowsLive: 40 + (i%2)*30,
+			HeapBytes: 32 << 20,
+		})
+	}
+	if err := res.Check(); err == nil {
+		t.Fatal("Check passed despite a monotone conntrack growth trend")
+	}
+}
+
+func TestLeakTrendIgnoresHealthyChurn(t *testing.T) {
+	res := &SoakResult{}
+	for i := 0; i < 16; i++ {
+		res.Snapshots = append(res.Snapshots, SoakSnapshot{
+			Epoch:     i + 1,
+			ConnsOpen: 200 + (i%3)*80, // oscillates, no trend
+			FlowsLive: 500 - i*10,     // shrinking
+			HeapBytes: int64(30+i%4) << 20,
+		})
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("Check flagged healthy oscillation: %v", err)
+	}
+}
+
+func TestLeakTrendUnit(t *testing.T) {
+	mono := make([]int64, 20)
+	for i := range mono {
+		mono[i] = int64(100 + i*20)
+	}
+	if !leakTrend(mono, 64) {
+		t.Error("monotone growth not flagged")
+	}
+	if leakTrend(mono[:8], 64) {
+		t.Error("series shorter than 10 samples must never trip")
+	}
+	plateau := []int64{100, 200, 300, 400, 500, 500, 500, 500, 500, 500, 500, 500}
+	if leakTrend(plateau, 64) {
+		t.Error("climb-to-plateau flagged as leak (only 4/11 strict increases)")
+	}
+	small := make([]int64, 20)
+	for i := range small {
+		small[i] = int64(10 + i) // grows, but by less than minAbs
+	}
+	if leakTrend(small, 64) {
+		t.Error("sub-threshold growth flagged")
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"borderpatrol/internal/httpsim"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policy"
 	"borderpatrol/internal/policystore"
@@ -47,6 +48,9 @@ type Testbed struct {
 	Apps []*android.App
 	// Corpus preserves the generator metadata per installed app.
 	Corpus []*apkgen.App
+	// Metrics is the registry every assembled component registered its
+	// instruments on; render it with WritePrometheus or walk Snapshot.
+	Metrics *metrics.Registry
 }
 
 // TestbedConfig assembles a deployment.
@@ -220,6 +224,17 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 				Handler: httpsim.StaticHandler(httpsim.StaticPage()),
 			})
 		}
+	}
+	// Registration before Start: no poller goroutine races the registry.
+	tb.Metrics = metrics.NewRegistry()
+	if tb.Enforcer != nil {
+		tb.Enforcer.RegisterMetrics(tb.Metrics)
+	}
+	tb.Network.Gateway.RegisterMetrics(tb.Metrics)
+	tb.Network.RegisterMetrics(tb.Metrics)
+	tb.Audit.RegisterMetrics(tb.Metrics)
+	if tb.Policy != nil {
+		tb.Policy.RegisterMetrics(tb.Metrics)
 	}
 	if tb.Policy != nil {
 		tb.Policy.Start()

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	c := NewCounter()
+	const (
+		workers = 8
+		perG    = 100_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perG {
+		t.Fatalf("counter = %d, want %d", got, workers*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(41)
+	g.Add(1.5)
+	if got := g.Value(); got != 42.5 {
+		t.Fatalf("gauge = %v, want 42.5", got)
+	}
+	g.Add(-42.5)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("bp_ok_total", "fine")
+	expectPanic("duplicate", func() { r.Counter("bp_ok_total", "again") })
+	expectPanic("kind clash", func() { r.Gauge("bp_ok_total", "as gauge") })
+	expectPanic("bad name", func() { r.Counter("bad-name", "dashes") })
+	expectPanic("bad label", func() { r.Counter("bp_lbl_total", "l", L("bad-key", "v")) })
+	// Same name with distinct labels is one family, not a duplicate.
+	r.Counter("bp_labeled_total", "l", L("kind", "a"))
+	r.Counter("bp_labeled_total", "l", L("kind", "b"))
+}
+
+// sampleLine matches one Prometheus exposition sample line.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bp_packets_total", "packets seen", L("decision", "allow"))
+	c.Add(7)
+	r.CounterFunc("bp_fn_total", "computed", func() uint64 { return 9 })
+	g := r.Gauge("bp_depth", "queue depth")
+	g.Set(3.5)
+	h := r.Histogram("bp_latency_ns", "latency")
+	for _, v := range []int64{1, 100, 100, 5000, 1 << 40} {
+		h.Record(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE bp_packets_total counter",
+		`bp_packets_total{decision="allow"} 7`,
+		"bp_fn_total 9",
+		"# TYPE bp_depth gauge",
+		"bp_depth 3.5",
+		"# TYPE bp_latency_ns histogram",
+		`bp_latency_ns_bucket{le="+Inf"} 5`,
+		"bp_latency_ns_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	helpOrType := 0
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+			helpOrType++
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+	if helpOrType != 8 {
+		t.Errorf("expected 4 HELP + 4 TYPE lines, got %d", helpOrType)
+	}
+
+	// Histogram cumulative counts must be non-decreasing and end at the
+	// total, and _sum must equal the recorded sum.
+	wantSum := uint64(1 + 100 + 100 + 5000 + 1<<40)
+	if !strings.Contains(out, "bp_latency_ns_sum "+strconv.FormatUint(wantSum, 10)) {
+		t.Errorf("missing histogram sum %d\n%s", wantSum, out)
+	}
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "bp_latency_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts decreased: %q after %d", line, prev)
+		}
+		prev = v
+	}
+	if prev != 5 {
+		t.Errorf("final cumulative bucket = %d, want 5", prev)
+	}
+}
+
+func TestSnapshotFlattens(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bp_a_total", "a").Add(3)
+	r.GaugeFunc("bp_b", "b", func() float64 { return 1.25 })
+	h := r.Histogram("bp_c_ns", "c")
+	h.Record(10)
+	samples := r.Snapshot()
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if samples[0].Name != "bp_a_total" || samples[0].Value != 3 || samples[0].Kind != KindCounter {
+		t.Errorf("counter sample wrong: %+v", samples[0])
+	}
+	if samples[1].Value != 1.25 || samples[1].Kind != KindGauge {
+		t.Errorf("gauge sample wrong: %+v", samples[1])
+	}
+	if samples[2].Hist == nil || samples[2].Hist.Count() != 1 || samples[2].Kind != KindHistogram {
+		t.Errorf("histogram sample wrong: %+v", samples[2])
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/policy"
 )
 
@@ -208,6 +209,10 @@ type Store struct {
 	failures       atomic.Uint64
 	degradedEnters atomic.Uint64
 
+	// swapLatency times successful applies end to end: fetch through the
+	// engine's atomic swap. All on the reload goroutine, never on traffic.
+	swapLatency *metrics.Histogram
+
 	stop    chan struct{}
 	done    chan struct{}
 	started atomic.Bool
@@ -232,10 +237,11 @@ func New(cfg Config) (*Store, error) {
 		cfg.MaxBackoff = cfg.Poll
 	}
 	return &Store{
-		cfg:   cfg,
-		start: time.Now(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:         cfg,
+		start:       time.Now(),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		swapLatency: metrics.NewHistogram(),
 	}, nil
 }
 
@@ -264,6 +270,7 @@ func (s *Store) Reload() (applied bool, err error) {
 	defer s.reloadMu.Unlock()
 
 	s.polls.Add(1)
+	cycleStart := time.Now()
 	s.mu.Lock()
 	prev := s.version
 	s.mu.Unlock()
@@ -300,6 +307,7 @@ func (s *Store) Reload() (applied bool, err error) {
 	s.lastErr = ""
 	s.mu.Unlock()
 	s.applied.Add(1)
+	s.swapLatency.Record(time.Since(cycleStart).Nanoseconds())
 	s.markGood()
 	if s.cfg.OnApply != nil {
 		s.cfg.OnApply(c.Version, rules)
@@ -422,6 +430,35 @@ func (s *Store) Close() {
 	if s.started.Load() {
 		<-s.done
 	}
+}
+
+// RegisterMetrics attaches the store's reload counters, the swap-latency
+// histogram, and the staleness-age gauge to a registry. The staleness age
+// is the fleet-health signal a scraper alerts on: it climbs while the
+// backend starves and snaps back on the next good cycle.
+func (s *Store) RegisterMetrics(r *metrics.Registry) {
+	const cycleHelp = "Policy reload cycles by outcome."
+	r.CounterFunc("bp_policy_reloads_total", cycleHelp, s.applied.Load, metrics.L("outcome", "applied"))
+	r.CounterFunc("bp_policy_reloads_total", cycleHelp, s.unchanged.Load, metrics.L("outcome", "unchanged"))
+	r.CounterFunc("bp_policy_reloads_total", cycleHelp, s.failures.Load, metrics.L("outcome", "failed"))
+	r.CounterFunc("bp_policy_degraded_enters_total",
+		"Times the store tripped its staleness deadline into the configured fail mode.",
+		s.degradedEnters.Load)
+	r.GaugeFunc("bp_policy_staleness_age_seconds",
+		"Age of the last successful reload cycle.",
+		func() float64 { return s.LastGoodAge().Seconds() })
+	r.GaugeFunc("bp_policy_degraded",
+		"1 while the staleness deadline has the engine in its degraded posture.",
+		func() float64 {
+			if s.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("bp_policy_rules", "Active compiled rule count.",
+		func() float64 { return float64(s.Stats().Rules) })
+	r.RegisterHistogram("bp_policy_swap_latency_ns",
+		"Successful reload latency, fetch through atomic swap.", s.swapLatency)
 }
 
 // Version returns the active policy revision ("" before the first load).
