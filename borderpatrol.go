@@ -15,12 +15,16 @@
 // Xposed-style hooks, Context Manager), the enterprise gateway (enforcer +
 // sanitizer on netfilter queues), and a virtual-time network:
 //
-//	dep, err := borderpatrol.NewDeployment(borderpatrol.DeploymentConfig{
-//		Policy: `{[deny][library]["com/flurry"]}`,
+//	dep, err := borderpatrol.New(borderpatrol.Config{
+//		Policy: borderpatrol.PolicyConfig{Doc: `{[deny][library]["com/flurry"]}`},
 //	})
 //	...
 //	app, err := dep.InstallApp(apk, functionality)
 //	verdicts, err := dep.Exercise(app, "analytics")
+//
+// A Fleet scales the same wiring out to N gateways on one network, each
+// fronting its own subnet and enforcing only its policy groups (see
+// NewFleet); a single Deployment is the N=1 special case.
 //
 // The reproduction harnesses for every table and figure in the paper's
 // evaluation live behind RunFig3, RunValidation, RunCloudCaseStudy,
@@ -30,7 +34,6 @@ package borderpatrol
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net/netip"
 	"strings"
 	"time"
@@ -179,73 +182,12 @@ func DefaultCorpusConfig() CorpusConfig {
 	return apkgen.DefaultConfig()
 }
 
-// DeploymentConfig assembles a BorderPatrol deployment.
-type DeploymentConfig struct {
-	// Policy is a policy document in the paper's grammar; empty means no
-	// rules (engine default decides everything). Mutually exclusive with
-	// PolicySource.
-	Policy string
-	// PolicySource feeds the policy engine from an external backend (see
-	// FilePolicySource, HTTPPolicySource, StaticPolicySource). The initial
-	// document loads synchronously — a broken initial policy fails
-	// NewDeployment — and later revisions hot-swap atomically, keeping the
-	// last-good rules on any fetch or parse error.
-	PolicySource PolicySource
-	// PolicyPoll is the hot-reload poll interval when PolicySource is set;
-	// 0 disables background polling (ReloadPolicy still works). Successive
-	// polls are jittered ±20% so fleets don't thundering-herd the backend.
-	PolicyPoll time.Duration
-	// PolicyMaxStale is the staleness deadline: when the store has not seen
-	// a healthy reload cycle for longer than this (in the network's virtual
-	// time), it degrades the engine according to PolicyFailMode. Zero
-	// disables the deadline.
-	PolicyMaxStale time.Duration
-	// PolicyFailMode selects the degraded posture past PolicyMaxStale:
-	// FailStatic keeps the last-good rules serving (the default), FailOpen
-	// admits everything, FailClosed denies everything. Recovery is
-	// automatic on the next healthy reload.
-	PolicyFailMode FailMode
-	// Faults arms the network with a deterministic wire-fault plan at
-	// construction; nil leaves the wire perfect. SetFaults installs or
-	// replaces a plan later.
-	Faults *FaultPlan
-	// DefaultVerdict applies when no rule is decisive; zero value means
-	// VerdictAllow.
-	DefaultVerdict Verdict
-	// AllowUntagged admits packets without a BorderPatrol tag (default
-	// false: the paper drops them inside the perimeter).
-	AllowUntagged bool
-	// HardenedKernel enables the set-once IP_OPTIONS protection against
-	// tag replay (§VII). Defaults to true.
-	HardenedKernel *bool
-	// FlowCacheSize bounds the gateway's per-flow verdict cache: 0 selects
-	// the default (65,536 flows), a negative value disables caching so
-	// every packet pays the full decode+evaluate pipeline.
-	FlowCacheSize int
-	// FlowTTL expires cached flow verdicts after this much virtual time
-	// (0 selects the default of one minute).
-	FlowTTL time.Duration
-	// GatewayWorkers sizes the gateway's per-core batch drain (0 selects
-	// GOMAXPROCS).
-	GatewayWorkers int
-	// DeviceAddr overrides the device network address.
-	DeviceAddr netip.Addr
-	// AuditWriter receives one JSON line per enforcement decision (nil
-	// disables file output; the in-memory audit tail is always kept).
-	// Entries are recorded asynchronously: the enforcement path appends a
-	// compact capture and a background drainer batch-encodes the JSON, so
-	// lines reach the writer after the next flush (AuditTail and Close
-	// both flush).
-	AuditWriter io.Writer
-	// AuditQueueCap bounds the pending (recorded but not yet encoded)
-	// audit entries; beyond it entries are counted as dropped rather than
-	// stalling enforcement (0 selects the audit package default).
-	AuditQueueCap int
-}
-
 // Deployment is a running BorderPatrol installation: one provisioned
-// device, the signature database, and the enterprise gateway + network.
+// device, the signature database, and an enterprise gateway on a network.
+// In a Fleet the network is shared between sibling deployments and each
+// owns just its gateway; stand-alone, the deployment owns both.
 type Deployment struct {
+	name      string
 	device    *android.Device
 	manager   *contextmgr.Manager
 	db        *analyzer.Database
@@ -253,6 +195,7 @@ type Deployment struct {
 	enforcer  *enforcer.Enforcer
 	sanitizer *sanitizer.Sanitizer
 	network   *netsim.Network
+	gateway   *netsim.Gateway
 	audit     *audit.Log
 	policy    *policystore.Store
 	metrics   *metrics.Registry
@@ -277,21 +220,52 @@ const (
 // AuditEntry is one enforcement decision record.
 type AuditEntry = audit.Entry
 
-// NewDeployment provisions a device with the Context Manager, builds the
-// policy engine, and stands up the gateway pipeline.
-func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
-	if cfg.PolicySource != nil && strings.TrimSpace(cfg.Policy) != "" {
-		return nil, errors.New("borderpatrol: Config.Policy and Config.PolicySource are mutually exclusive")
+// New provisions a device with the Context Manager, builds the policy
+// engine, and stands up the gateway pipeline. It is the single-gateway
+// constructor; NewFleet runs the same wiring once per gateway on a shared
+// network.
+func New(cfg Config) (*Deployment, error) {
+	// The network comes up before the policy store so the store's staleness
+	// deadline can be measured on the same virtual clock everything else
+	// runs on.
+	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
+	if cfg.Net.Faults != nil {
+		network.InstallFaults(*cfg.Net.Faults)
+	}
+	d, err := build(cfg, network, "")
+	if err != nil {
+		return nil, err
+	}
+	// N=1: the gateway fronts every source (the zero-route special case of
+	// the fleet's subnet routing), and the deployment's registry carries
+	// the network-wide fault counters too.
+	network.Gateway = d.gateway
+	network.RegisterMetrics(d.metrics)
+	if d.policy != nil {
+		d.policy.Start()
+	}
+	return d, nil
+}
+
+// build assembles one deployment on the given (possibly shared) network:
+// engine, policy store (loaded but not yet started), device, audit,
+// enforcer, sanitizer, gateway, and a per-deployment metrics registry.
+// The caller wires the gateway into the network (Gateway field or subnet
+// route), registers network-wide metrics wherever they belong, and starts
+// the store once construction can no longer fail.
+func build(cfg Config, network *netsim.Network, name string) (*Deployment, error) {
+	if cfg.Policy.Source != nil && strings.TrimSpace(cfg.Policy.Doc) != "" {
+		return nil, errors.New("borderpatrol: PolicyConfig.Doc and PolicyConfig.Source are mutually exclusive")
 	}
 	var rules []Rule
-	if strings.TrimSpace(cfg.Policy) != "" {
+	if strings.TrimSpace(cfg.Policy.Doc) != "" {
 		var err error
-		rules, err = policy.ParsePolicyString(cfg.Policy)
+		rules, err = policy.ParsePolicyString(cfg.Policy.Doc)
 		if err != nil {
 			return nil, fmt.Errorf("borderpatrol: %w", err)
 		}
 	}
-	def := cfg.DefaultVerdict
+	def := cfg.Policy.DefaultVerdict
 	if def == 0 {
 		def = policy.VerdictAllow
 	}
@@ -300,24 +274,17 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		return nil, fmt.Errorf("borderpatrol: %w", err)
 	}
 
-	// The network comes up before the policy store so the store's staleness
-	// deadline can be measured on the same virtual clock everything else
-	// runs on.
-	network := netsim.NewNetwork(netsim.ModeTAP, netsim.DefaultLatencyModel())
-	if cfg.Faults != nil {
-		network.InstallFaults(*cfg.Faults)
-	}
-
 	var store *policystore.Store
-	if cfg.PolicySource != nil {
+	if cfg.Policy.Source != nil {
 		storeCfg := policystore.Config{
-			Source:   cfg.PolicySource,
-			Engine:   engine,
-			Poll:     cfg.PolicyPoll,
-			MaxStale: cfg.PolicyMaxStale,
-			FailMode: cfg.PolicyFailMode,
+			Source:       cfg.Policy.Source,
+			Engine:       engine,
+			Poll:         cfg.Policy.Poll,
+			WatchTimeout: cfg.Policy.WatchTimeout,
+			MaxStale:     cfg.Policy.MaxStale,
+			FailMode:     cfg.Policy.FailMode,
 		}
-		if cfg.PolicyMaxStale > 0 {
+		if cfg.Policy.MaxStale > 0 {
 			storeCfg.Now = network.Clock.Now
 		}
 		store, err = policystore.New(storeCfg)
@@ -334,10 +301,10 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 
 	hardened := true
-	if cfg.HardenedKernel != nil {
-		hardened = *cfg.HardenedKernel
+	if cfg.Net.HardenedKernel != nil {
+		hardened = *cfg.Net.HardenedKernel
 	}
-	addr := cfg.DeviceAddr
+	addr := cfg.Net.DeviceAddr
 	if !addr.IsValid() {
 		addr = netip.MustParseAddr("10.66.0.2")
 	}
@@ -356,18 +323,18 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 
 	db := analyzer.NewDatabase()
 	auditLog := audit.NewWithConfig(audit.Config{
-		Writer:   cfg.AuditWriter,
+		Writer:   cfg.Audit.Writer,
 		TailCap:  256,
-		QueueCap: cfg.AuditQueueCap,
+		QueueCap: cfg.Audit.QueueCap,
 	})
-	enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged, Audit: auditLog}
-	if cfg.FlowCacheSize >= 0 {
-		ttl := cfg.FlowTTL
+	enfCfg := enforcer.Config{AllowUntagged: cfg.Policy.AllowUntagged, Audit: auditLog}
+	if cfg.Flow.CacheSize >= 0 {
+		ttl := cfg.Flow.TTL
 		if ttl == 0 {
 			ttl = time.Minute // virtual time; keep-alive flows stay warm
 		}
 		enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{
-			Capacity: cfg.FlowCacheSize, // 0 = flowtable default
+			Capacity: cfg.Flow.CacheSize, // 0 = flowtable default
 			TTL:      ttl,
 			Clock:    network.Clock,
 			// Negative-cache admission guard: unique-flow floods (SYN
@@ -378,26 +345,23 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 	enf := enforcer.New(enfCfg, db, engine)
 	san := sanitizer.New(sanitizer.Config{})
-	network.Gateway = netsim.NewGateway(netsim.GatewayConfig{
+	gw := netsim.NewGateway(netsim.GatewayConfig{
 		Enforcer:  enf,
 		Sanitizer: san,
-		Workers:   cfg.GatewayWorkers,
+		Workers:   cfg.Flow.Workers,
 		Clock:     network.Clock,
 	})
 
 	reg := metrics.NewRegistry()
 	enf.RegisterMetrics(reg)
-	network.Gateway.RegisterMetrics(reg)
-	network.RegisterMetrics(reg)
+	gw.RegisterMetrics(reg)
 	auditLog.RegisterMetrics(reg)
 	if store != nil {
 		store.RegisterMetrics(reg)
 	}
 
-	if store != nil {
-		store.Start()
-	}
 	return &Deployment{
+		name:      name,
 		device:    device,
 		manager:   manager,
 		db:        db,
@@ -405,6 +369,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		enforcer:  enf,
 		sanitizer: san,
 		network:   network,
+		gateway:   gw,
 		audit:     auditLog,
 		policy:    store,
 		metrics:   reg,
@@ -509,7 +474,7 @@ func (d *Deployment) FaultStats() FaultStats {
 // next packet of every live flow re-resolves through the full pipeline.
 // Control-plane state (policy engine, signature database) survives.
 func (d *Deployment) RestartGateway() {
-	d.network.Gateway.Restart()
+	d.gateway.Restart()
 }
 
 // SweepIdle runs one garbage-collection sweep over the gateway's dataplane
@@ -517,7 +482,7 @@ func (d *Deployment) RestartGateway() {
 // was lost), and TTL-expired flow-cache entries are reclaimed. Returns
 // what each sweep freed.
 func (d *Deployment) SweepIdle(idle time.Duration) (conns, flows int) {
-	return d.network.Gateway.GC(idle)
+	return d.gateway.GC(idle)
 }
 
 // Outcome reports what happened to one packet an app functionality sent.
@@ -590,6 +555,13 @@ func (d *Deployment) AuditTail() []AuditEntry {
 func (d *Deployment) Device() *android.Device { return d.device }
 
 // DeploymentStats aggregates component counters.
+//
+// Deprecated: the metrics registry is the canonical observability surface
+// — Deployment.Metrics (one gateway) and Fleet.Metrics (every gateway,
+// one scrape) expose the same counters and more, queryable by family and
+// label and renderable as Prometheus text. DeploymentStats remains as a
+// thin view computed from the registry snapshot (plus the few componental
+// readings, like tagger counters, that have no metric family yet).
 type DeploymentStats struct {
 	SocketsTagged    uint64
 	TagFailures      uint64
@@ -673,49 +645,73 @@ type DeploymentStats struct {
 	WireFaults FaultStats
 }
 
-// Stats snapshots counters across the Context Manager, Policy Enforcer and
-// Packet Sanitizer.
+// statsView indexes one registry snapshot by family name and label set so
+// DeploymentStats fields read like metric queries.
+type statsView map[string]float64
+
+func snapshotView(reg *metrics.Registry) statsView {
+	v := make(statsView)
+	for _, s := range reg.Snapshot() {
+		if s.Hist != nil {
+			continue
+		}
+		key := s.Name
+		for _, l := range s.Labels {
+			key += ";" + l.Key + "=" + l.Value
+		}
+		v[key] += s.Value
+	}
+	return v
+}
+
+// u reads a counter series (0 when the family was never registered, e.g.
+// flow caching disabled or no policy source).
+func (v statsView) u(key string) uint64 { return uint64(v[key]) }
+
+// Stats snapshots counters across the deployment. Everything with a
+// metric family is computed from the same registry snapshot that a
+// Prometheus scrape would see; only series-less readings (tagger and
+// sanitizer counters, policy version strings) come from the components.
+//
+// Deprecated: prefer Deployment.Metrics (see DeploymentStats).
 func (d *Deployment) Stats() DeploymentStats {
 	cm := d.manager.Stats()
-	ef := d.enforcer.Stats()
 	sn := d.sanitizer.Stats()
-	pe := d.engine.Stats()
-	au := d.audit.Stats()
 	ps := d.policy.Stats()
-	ct := d.network.Gateway.Conntrack()
+	v := snapshotView(d.metrics)
 	return DeploymentStats{
 		SocketsTagged:        cm.SocketsTagged,
 		TagFailures:          cm.TagFailures,
-		PacketsProcessed:     ef.Processed,
-		PacketsAccepted:      ef.Accepted,
-		PacketsDropped:       ef.Dropped,
+		PacketsProcessed:     v.u("bp_enforcer_verdicts_total;decision=allow") + v.u("bp_enforcer_verdicts_total;decision=drop"),
+		PacketsAccepted:      v.u("bp_enforcer_verdicts_total;decision=allow"),
+		PacketsDropped:       v.u("bp_enforcer_verdicts_total;decision=drop"),
 		PacketsCleansed:      sn.Cleansed,
-		PolicyEvaluations:    pe.Evaluations,
-		PolicyDefaultHits:    pe.DefaultHits,
-		FlowCacheHits:        ef.Flow.Hits + ef.BatchMemoHits,
-		FlowCacheMisses:      ef.Flow.Misses,
-		FlowCacheEvictions:   ef.Flow.Evictions,
-		FlowNegCacheDrops:    ef.Flow.AdmissionDrops,
-		FlowsLive:            ef.Flow.Live,
-		ConnsEstablished:     ct.Established,
-		ConnsClosed:          ct.Closed,
-		ConnsOpen:            ct.Open,
-		AuditRecorded:        au.Recorded,
-		AuditDropped:         au.Dropped,
-		AuditPending:         au.Pending,
-		PolicyReloads:        ps.Applied,
-		PolicyReloadFailures: ps.Failures,
+		PolicyEvaluations:    v.u("bp_policy_evaluations_total"),
+		PolicyDefaultHits:    v.u("bp_policy_default_hits_total"),
+		FlowCacheHits:        v.u("bp_flowtable_hits_total") + v.u("bp_enforcer_batch_memo_hits_total"),
+		FlowCacheMisses:      v.u("bp_flowtable_misses_total"),
+		FlowCacheEvictions:   v.u("bp_flowtable_evictions_total"),
+		FlowNegCacheDrops:    v.u("bp_flowtable_admission_drops_total"),
+		FlowsLive:            int(v["bp_flowtable_live"]),
+		ConnsEstablished:     v.u("bp_conntrack_transitions_total;kind=established"),
+		ConnsClosed:          v.u("bp_conntrack_transitions_total;kind=closed"),
+		ConnsOpen:            int(v["bp_conntrack_connections;state=open"]),
+		AuditRecorded:        v.u("bp_audit_recorded_total"),
+		AuditDropped:         v.u("bp_audit_dropped_total"),
+		AuditPending:         v.u("bp_audit_queue_depth"),
+		PolicyReloads:        v.u("bp_policy_reloads_total;outcome=applied"),
+		PolicyReloadFailures: v.u("bp_policy_reloads_total;outcome=failed"),
 		PolicyVersion:        ps.Version,
 		PolicyLastError:      ps.LastError,
 		PolicyDegraded:       ps.Degraded,
-		PolicyDegradedEnters: ps.DegradedEnters,
-		PolicyDegradedHits:   pe.DegradedHits,
+		PolicyDegradedEnters: v.u("bp_policy_degraded_enters_total"),
+		PolicyDegradedHits:   v.u("bp_policy_degraded_hits_total"),
 		PolicyLastGoodAge:    ps.LastGoodAge,
-		ConnsTimeWait:        ct.TimeWait,
-		ConnsDupCloses:       ct.DupCloses,
-		ConnsLateSYNs:        ct.LateSYNs,
-		ConnsIdleReclaimed:   ct.IdleReclaimed,
-		GatewayRestarts:      d.network.Gateway.Restarts(),
+		ConnsTimeWait:        int(v["bp_conntrack_connections;state=time_wait"]),
+		ConnsDupCloses:       v.u("bp_conntrack_transitions_total;kind=dup_close"),
+		ConnsLateSYNs:        v.u("bp_conntrack_transitions_total;kind=late_syn"),
+		ConnsIdleReclaimed:   v.u("bp_conntrack_transitions_total;kind=idle_reclaimed"),
+		GatewayRestarts:      v.u("bp_gateway_restarts_total"),
 		WireFaults:           d.network.FaultStats(),
 	}
 }
@@ -755,6 +751,11 @@ var (
 	// RunPipelineBench measures the instrumented enforcement paths and
 	// scrapes their latency histograms (machine-readable via WriteJSON).
 	RunPipelineBench = experiments.RunPipelineBench
+	// RunFleetBench drives the multi-gateway fleet workload: N sharded
+	// gateways, pooled devices, mixed HTTP+DNS traffic, a mid-run
+	// fleet-wide policy push, and leak accounting (machine-readable via
+	// WriteJSON — BENCH_fleet.json).
+	RunFleetBench = experiments.RunFleet
 )
 
 // Experiment configuration re-exports.
@@ -781,6 +782,13 @@ type (
 	PipelineBenchConfig = experiments.PipelineBenchConfig
 	// PipelineBenchResult reports the pipeline benchmark.
 	PipelineBenchResult = experiments.PipelineBenchResult
+	// FleetRunConfig sizes the fleet benchmark (RunFleetBench).
+	FleetRunConfig = experiments.FleetRunConfig
+	// FleetBenchResult reports the fleet benchmark (Check asserts zero
+	// policy leaks and one-watch-round propagation).
+	FleetBenchResult = experiments.FleetBenchResult
+	// FleetGatewayReport is one gateway's slice of a fleet benchmark.
+	FleetGatewayReport = experiments.FleetGatewayReport
 )
 
 // Default experiment configurations.
@@ -790,4 +798,5 @@ var (
 	DefaultFig4Options      = experiments.DefaultFig4Options
 	DefaultReloadConfig     = experiments.DefaultReloadConfig
 	DefaultSoakConfig       = experiments.DefaultSoakConfig
+	DefaultFleetRunConfig   = experiments.DefaultFleetRunConfig
 )

@@ -9,6 +9,12 @@
 //	bp-experiments -run all
 //	bp-experiments -run fig3 -paper-scale
 //	bp-experiments -run fig4
+//	bp-experiments -run fleet -paper-scale          # 8 gateways, 10k devices
+//	bp-experiments -run fleet -fleet-gateways 3 -fleet-devices 40
+//
+// The fleet run shares bp-gateway's audit and metrics flags: -audit
+// ships the fleet-wide enforcement trail, -metrics-addr serves the
+// aggregated per-gateway scrape (add -linger to keep it up afterwards).
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"strings"
 
 	"borderpatrol/internal/apkgen"
+	"borderpatrol/internal/cliflags"
 	"borderpatrol/internal/experiments"
+	"borderpatrol/internal/metrics"
 )
 
 func main() {
@@ -29,10 +37,16 @@ func main() {
 }
 
 func run() error {
-	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|pipeline|all")
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|pipeline|fleet|all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
 	seed := flag.Int64("seed", 2019, "corpus seed")
 	benchJSON := flag.String("bench-json", "BENCH_pipeline.json", "machine-readable output path for the pipeline benchmark")
+	fleetGateways := flag.Int("fleet-gateways", 0, "fleet experiment: gateway count (0 = 8, or 4 without -paper-scale)")
+	fleetDevices := flag.Int("fleet-devices", 0, "fleet experiment: pooled devices per gateway (0 = 1250, or 150 without -paper-scale)")
+	fleetBatch := flag.Int("fleet-batch", 0, "fleet experiment: gateway drain burst size (0 = 1024)")
+	fleetJSON := flag.String("fleet-json", "BENCH_fleet.json", "machine-readable output path for the fleet benchmark")
+	auditFlags := cliflags.RegisterAudit(flag.CommandLine)
+	metricsFlags := cliflags.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -212,5 +226,60 @@ func run() error {
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 	}
+
+	if all || want["fleet"] {
+		section("E15 — Fleet: multi-gateway sharded enforcement")
+		fcfg := experiments.FleetRunConfig{
+			Gateways:          *fleetGateways,
+			DevicesPerGateway: *fleetDevices,
+			BatchSize:         *fleetBatch,
+		}
+		if !*paperScale {
+			// The reduced scale still spans several shards and thousands
+			// of packets; explicit -fleet-* flags override it.
+			if fcfg.Gateways == 0 {
+				fcfg.Gateways = 4
+			}
+			if fcfg.DevicesPerGateway == 0 {
+				fcfg.DevicesPerGateway = 150
+			}
+		}
+		auditW, closeAudit, err := auditFlags.Writer()
+		if err != nil {
+			return err
+		}
+		fcfg.AuditWriter = auditW
+		fcfg.Metrics = metrics.NewAggregate("gateway")
+		metricsAddr, stopMetrics, err := metricsFlags.Serve(fcfg.Metrics.Handler())
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		if metricsAddr != "" {
+			fmt.Printf("metrics: http://%s/metrics\n", metricsAddr)
+		}
+		res, err := experiments.RunFleet(fcfg)
+		// RunFleet flushed the audit pipeline on its way out; the file can
+		// close before the error check so it never leaks.
+		if cerr := closeAudit(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		if err := res.Check(); err != nil {
+			return err
+		}
+		fmt.Println("all fleet invariants held")
+		if *fleetJSON != "" {
+			if err := res.WriteJSON(*fleetJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *fleetJSON)
+		}
+	}
+
+	metricsFlags.Wait(os.Stdout)
 	return nil
 }

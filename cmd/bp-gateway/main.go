@@ -29,23 +29,17 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	"borderpatrol/internal/apkgen"
-	"borderpatrol/internal/audit"
+	"borderpatrol/internal/cliflags"
 	"borderpatrol/internal/experiments"
 	"borderpatrol/internal/metrics"
 	"borderpatrol/internal/monkey"
 	"borderpatrol/internal/policy"
-	"borderpatrol/internal/policystore"
 )
 
 func main() {
@@ -57,65 +51,25 @@ func main() {
 
 func run() error {
 	policyPath := flag.String("policy", "", "policy file in the paper's grammar, loaded once (empty = allow all)")
-	policyFile := flag.String("policy-file", "", "policy file with hot reload: edits apply without restart")
-	policyURL := flag.String("policy-url", "", "policy HTTP endpoint with hot reload (ETag conditional fetches)")
-	policyPoll := flag.Duration("policy-poll", 2*time.Second, "hot-reload poll interval for -policy-file/-policy-url")
-	policyMaxStale := flag.Duration("policy-max-stale", 0, "staleness deadline before the store degrades per -fail-mode (0 = never)")
-	failModeName := flag.String("fail-mode", "static", "degraded posture past -policy-max-stale: static|open|closed")
 	apps := flag.Int("apps", 20, "number of corpus apps to install")
 	events := flag.Int("events", 1000, "monkey events per app")
 	seed := flag.Int64("seed", 2019, "corpus + monkey seed")
 	workers := flag.Int("workers", 0, "gateway batch-drain workers (0 = GOMAXPROCS)")
 	noFlowCache := flag.Bool("no-flow-cache", false, "disable per-flow verdict caching")
-	auditPath := flag.String("audit", "", "write the enforcement audit trail (JSON lines) to this file")
-	auditRotateBytes := flag.Int64("audit-rotate-bytes", 0, "rotate the -audit file when it reaches this size (0 = never)")
-	auditRotateKeep := flag.Int("audit-rotate-keep", 4, "rotated -audit files to keep beside the active one")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090) at /metrics")
-	linger := flag.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the session")
+	policyFlags := cliflags.RegisterPolicy(flag.CommandLine)
+	auditFlags := cliflags.RegisterAudit(flag.CommandLine)
+	metricsFlags := cliflags.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
-	set := 0
-	for _, s := range []string{*policyPath, *policyFile, *policyURL} {
-		if s != "" {
-			set++
-		}
-	}
-	if set > 1 {
-		return errors.New("-policy, -policy-file and -policy-url are mutually exclusive")
-	}
-	var policySource policystore.Source
-	switch {
-	case *policyFile != "":
-		policySource = policystore.NewFileSource(*policyFile)
-	case *policyURL != "":
-		policySource = policystore.NewHTTPSource(*policyURL, nil)
-	}
-	failMode, err := policystore.ParseFailMode(*failModeName)
+	policySource, failMode, err := policyFlags.Source(*policyPath != "")
 	if err != nil {
 		return err
 	}
-	if *policyMaxStale > 0 && policySource == nil {
-		return errors.New("-policy-max-stale requires -policy-file or -policy-url")
+	auditW, closeAudit, err := auditFlags.Writer()
+	if err != nil {
+		return err
 	}
-
-	var auditW io.Writer
-	if *auditPath != "" {
-		if *auditRotateBytes > 0 {
-			rw, err := audit.NewRotatingWriter(*auditPath, *auditRotateBytes, *auditRotateKeep)
-			if err != nil {
-				return err
-			}
-			defer rw.Close()
-			auditW = rw
-		} else {
-			f, err := os.Create(*auditPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			auditW = f
-		}
-	}
+	defer closeAudit()
 
 	var rules []policy.Rule
 	if *policyPath != "" {
@@ -146,8 +100,8 @@ func run() error {
 		GatewayWorkers:   *workers,
 		AuditWriter:      auditW,
 		PolicySource:     policySource,
-		PolicyPoll:       *policyPoll,
-		PolicyMaxStale:   *policyMaxStale,
+		PolicyPoll:       policyFlags.Poll,
+		PolicyMaxStale:   policyFlags.MaxStale,
 		PolicyFailMode:   failMode,
 	})
 	if err != nil {
@@ -156,23 +110,19 @@ func run() error {
 	if tb.Policy != nil {
 		ps := tb.Policy.Stats()
 		fmt.Printf("policy store: %d rules from %s (revision %s, hot reload every %s)\n",
-			ps.Rules, ps.Source, ps.Version, *policyPoll)
-		if *policyMaxStale > 0 {
-			fmt.Printf("  staleness deadline %s, fail mode %s\n", *policyMaxStale, failMode)
+			ps.Rules, ps.Source, ps.Version, policyFlags.Poll)
+		if policyFlags.MaxStale > 0 {
+			fmt.Printf("  staleness deadline %s, fail mode %s\n", policyFlags.MaxStale, failMode)
 		}
 	}
 
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
-		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", tb.Metrics.Handler())
-		srv := &http.Server{Handler: mux}
-		go srv.Serve(ln)
-		defer srv.Close()
-		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	metricsAddr, stopMetrics, err := metricsFlags.Serve(tb.Metrics.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	if metricsAddr != "" {
+		fmt.Printf("metrics: http://%s/metrics\n", metricsAddr)
 	}
 
 	totalPackets, delivered := 0, 0
@@ -210,10 +160,7 @@ func run() error {
 	fmt.Printf("context manager: sockets tagged=%d, frames resolved=%d, framework frames filtered=%d\n",
 		cm.SocketsTagged, cm.FramesResolved, cm.FramesDropped)
 
-	if *linger > 0 {
-		fmt.Printf("lingering %s for scrapers...\n", *linger)
-		time.Sleep(*linger)
-	}
+	metricsFlags.Wait(os.Stdout)
 	return nil
 }
 

@@ -1,0 +1,164 @@
+// Package cliflags centralizes the flag wiring the BorderPatrol
+// commands share. bp-gateway and bp-experiments both expose policy
+// hot-reload, audit-trail and metrics-endpoint options; declaring them
+// here once keeps names, defaults, help text and validation identical
+// across commands instead of drifting copy by copy.
+//
+// Each Register* function declares its flag group on a caller-supplied
+// *flag.FlagSet (pass flag.CommandLine from a main) and returns a holder
+// whose methods run after fs.Parse: validation, then construction of the
+// thing the flags describe — a policystore.Source, an audit io.Writer,
+// an HTTP scrape endpoint.
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"borderpatrol/internal/audit"
+	"borderpatrol/internal/policystore"
+)
+
+// Policy holds the hot-reload policy-source flags: -policy-file,
+// -policy-url, -policy-poll, -policy-max-stale and -fail-mode.
+type Policy struct {
+	// File and URL select the hot-reload backend (mutually exclusive).
+	File string
+	URL  string
+	// Poll is the store's fallback poll interval.
+	Poll time.Duration
+	// MaxStale arms the staleness deadline; FailModeName is the posture
+	// past it.
+	MaxStale     time.Duration
+	FailModeName string
+}
+
+// RegisterPolicy declares the shared policy-source flags on fs.
+func RegisterPolicy(fs *flag.FlagSet) *Policy {
+	p := &Policy{}
+	fs.StringVar(&p.File, "policy-file", "", "policy file with hot reload: edits apply without restart")
+	fs.StringVar(&p.URL, "policy-url", "", "policy HTTP endpoint with hot reload (ETag conditional fetches)")
+	fs.DurationVar(&p.Poll, "policy-poll", 2*time.Second, "hot-reload poll interval for -policy-file/-policy-url")
+	fs.DurationVar(&p.MaxStale, "policy-max-stale", 0, "staleness deadline before the store degrades per -fail-mode (0 = never)")
+	fs.StringVar(&p.FailModeName, "fail-mode", "static", "degraded posture past -policy-max-stale: static|open|closed")
+	return p
+}
+
+// Source validates the parsed flags and builds the hot-reload policy
+// source — nil when neither -policy-file nor -policy-url was given.
+// staticSet reports whether the command's own one-shot policy flag was
+// also set; the three sources are mutually exclusive.
+func (p *Policy) Source(staticSet bool) (policystore.Source, policystore.FailMode, error) {
+	var failMode policystore.FailMode
+	set := 0
+	for _, on := range []bool{staticSet, p.File != "", p.URL != ""} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, failMode, errors.New("-policy, -policy-file and -policy-url are mutually exclusive")
+	}
+	failMode, err := policystore.ParseFailMode(p.FailModeName)
+	if err != nil {
+		return nil, failMode, err
+	}
+	var src policystore.Source
+	switch {
+	case p.File != "":
+		src = policystore.NewFileSource(p.File)
+	case p.URL != "":
+		src = policystore.NewHTTPSource(p.URL, nil)
+	}
+	if p.MaxStale > 0 && src == nil {
+		return nil, failMode, errors.New("-policy-max-stale requires -policy-file or -policy-url")
+	}
+	return src, failMode, nil
+}
+
+// Audit holds the enforcement-audit flags: -audit, -audit-rotate-bytes
+// and -audit-rotate-keep.
+type Audit struct {
+	Path        string
+	RotateBytes int64
+	RotateKeep  int
+}
+
+// RegisterAudit declares the shared audit-trail flags on fs.
+func RegisterAudit(fs *flag.FlagSet) *Audit {
+	a := &Audit{}
+	fs.StringVar(&a.Path, "audit", "", "write the enforcement audit trail (JSON lines) to this file")
+	fs.Int64Var(&a.RotateBytes, "audit-rotate-bytes", 0, "rotate the -audit file when it reaches this size (0 = never)")
+	fs.IntVar(&a.RotateKeep, "audit-rotate-keep", 4, "rotated -audit files to keep beside the active one")
+	return a
+}
+
+// Writer opens the audit destination the flags describe: a rotating
+// writer when -audit-rotate-bytes is set, a plain file otherwise, and a
+// nil writer when -audit is unset. The returned close function is never
+// nil; call it only after the audit pipeline has flushed.
+func (a *Audit) Writer() (io.Writer, func() error, error) {
+	if a.Path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	if a.RotateBytes > 0 {
+		rw, err := audit.NewRotatingWriter(a.Path, a.RotateBytes, a.RotateKeep)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rw, rw.Close, nil
+	}
+	f, err := os.Create(a.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// Metrics holds the scrape-endpoint flags: -metrics-addr and -linger.
+type Metrics struct {
+	Addr   string
+	Linger time.Duration
+}
+
+// RegisterMetrics declares the shared metrics-endpoint flags on fs.
+func RegisterMetrics(fs *flag.FlagSet) *Metrics {
+	m := &Metrics{}
+	fs.StringVar(&m.Addr, "metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090) at /metrics")
+	fs.DurationVar(&m.Linger, "linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the session")
+	return m
+}
+
+// Serve exposes h at /metrics on -metrics-addr. It returns the bound
+// address — empty when the flag is unset — and a stop function that is
+// always safe to call.
+func (m *Metrics) Serve(h http.Handler) (addr string, stop func(), err error) {
+	if m.Addr == "" {
+		return "", func() {}, nil
+	}
+	ln, err := net.Listen("tcp", m.Addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// Wait sleeps the -linger duration (noting it on out) so scrapers can
+// collect the endpoint after the session's work is done.
+func (m *Metrics) Wait(out io.Writer) {
+	if m.Linger <= 0 {
+		return
+	}
+	fmt.Fprintf(out, "lingering %s for scrapers...\n", m.Linger)
+	time.Sleep(m.Linger)
+}

@@ -1,0 +1,150 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newSet(t *testing.T, args ...string) (*Policy, *Audit, *Metrics) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p, a, m := RegisterPolicy(fs), RegisterAudit(fs), RegisterMetrics(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return p, a, m
+}
+
+func TestPolicySourceSelection(t *testing.T) {
+	p, _, _ := newSet(t, "-policy-file", "rules.bp", "-fail-mode", "closed", "-policy-max-stale", "30s")
+	src, mode, err := p.Source(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == nil {
+		t.Fatal("file flag produced no source")
+	}
+	if mode.String() != "fail-closed" {
+		t.Fatalf("fail mode = %v", mode)
+	}
+
+	p, _, _ = newSet(t)
+	src, _, err = p.Source(false)
+	if err != nil || src != nil {
+		t.Fatalf("no flags: src=%v err=%v", src, err)
+	}
+}
+
+func TestPolicySourceValidation(t *testing.T) {
+	// The one-shot and hot-reload sources are mutually exclusive.
+	p, _, _ := newSet(t, "-policy-file", "a.bp", "-policy-url", "http://ctrl/b.bp")
+	if _, _, err := p.Source(false); err == nil {
+		t.Fatal("file+url accepted")
+	}
+	p, _, _ = newSet(t, "-policy-file", "a.bp")
+	if _, _, err := p.Source(true); err == nil {
+		t.Fatal("static+file accepted")
+	}
+	// A staleness deadline is meaningless without a reloadable source.
+	p, _, _ = newSet(t, "-policy-max-stale", "10s")
+	if _, _, err := p.Source(false); err == nil {
+		t.Fatal("max-stale without source accepted")
+	}
+	p, _, _ = newSet(t, "-policy-file", "a.bp", "-fail-mode", "sideways")
+	if _, _, err := p.Source(false); err == nil {
+		t.Fatal("bogus fail mode accepted")
+	}
+}
+
+func TestAuditWriter(t *testing.T) {
+	_, a, _ := newSet(t)
+	w, closeFn, err := a.Writer()
+	if err != nil || w != nil {
+		t.Fatalf("unset -audit: w=%v err=%v", w, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trail.jsonl")
+	_, a, _ = newSet(t, "-audit", path)
+	w, closeFn, err = a.Writer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "{}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "{}\n" {
+		t.Fatalf("audit file: %q err=%v", b, err)
+	}
+
+	// The rotating variant kicks in with -audit-rotate-bytes.
+	path = filepath.Join(t.TempDir(), "rot.jsonl")
+	_, a, _ = newSet(t, "-audit", path, "-audit-rotate-bytes", "4", "-audit-rotate-keep", "2")
+	w, closeFn, err = a.Writer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := io.WriteString(w, "xxxxx\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file: %v", err)
+	}
+}
+
+func TestMetricsServe(t *testing.T) {
+	_, _, m := newSet(t)
+	addr, stop, err := m.Serve(nil)
+	if err != nil || addr != "" {
+		t.Fatalf("unset -metrics-addr: addr=%q err=%v", addr, err)
+	}
+	stop()
+
+	_, _, m = newSet(t, "-metrics-addr", "127.0.0.1:0")
+	addr, stop, err = m.Serve(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "bp_up 1\n")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "bp_up 1") {
+		t.Fatalf("scrape: %q err=%v", body, err)
+	}
+}
+
+func TestMetricsWait(t *testing.T) {
+	_, _, m := newSet(t, "-linger", "1ms")
+	var sb strings.Builder
+	start := time.Now()
+	m.Wait(&sb)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("did not linger")
+	}
+	if !strings.Contains(sb.String(), "lingering") {
+		t.Fatalf("no note: %q", sb.String())
+	}
+}

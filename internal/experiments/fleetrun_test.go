@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestRunFleetSmoke is the CI-scale fleet run: small N under the race
+// detector, same invariants as the full 8×1250 default.
+func TestRunFleetSmoke(t *testing.T) {
+	res, err := RunFleet(FleetRunConfig{Gateways: 3, DevicesPerGateway: 40, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Gateways != 3 || res.Devices != 120 {
+		t.Fatalf("scale: %+v", res)
+	}
+	if res.HTTPPackets == 0 || res.DNSPackets == 0 {
+		t.Fatalf("workload not mixed: http=%d dns=%d", res.HTTPPackets, res.DNSPackets)
+	}
+	if res.P50Ns == 0 || res.P99Ns < res.P50Ns {
+		t.Fatalf("latency quantiles degenerate: %+v", res)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty format")
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Aggregate merges any number of Registries into one scrape. Each
+// attached registry gets a distinguishing label (e.g. gateway="gw3")
+// injected in front of every series' own labels, so N gateways' identical
+// family names coexist in a single exposition — the fleet's one-scrape
+// /metrics — and per-gateway breakdowns stay one PromQL `by (gateway)`
+// away.
+//
+// Aggregation happens at scrape time over Registry.Snapshot(); nothing
+// is copied or re-registered, so attaching a registry costs the hot path
+// exactly as much as Registry itself does: nothing.
+type Aggregate struct {
+	key string
+
+	mu      sync.Mutex
+	entries []aggEntry
+}
+
+type aggEntry struct {
+	value string
+	reg   *Registry
+}
+
+// NewAggregate builds an empty aggregate whose injected label uses the
+// given key ("gateway", "shard", ...).
+func NewAggregate(key string) *Aggregate { return &Aggregate{key: key} }
+
+// Attach adds a registry under a label value. Values must be unique per
+// aggregate — two registries under one value would emit duplicate series.
+// Attach order is scrape order.
+func (a *Aggregate) Attach(value string, r *Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries = append(a.entries, aggEntry{value: value, reg: r})
+}
+
+// Snapshot evaluates every attached registry and returns the merged
+// samples, each carrying its registry's injected label first. Samples are
+// grouped by family (first-seen order), so a family spanning registries
+// renders contiguously.
+func (a *Aggregate) Snapshot() []Sample {
+	a.mu.Lock()
+	entries := make([]aggEntry, len(a.entries))
+	copy(entries, a.entries)
+	a.mu.Unlock()
+
+	famIdx := make(map[string]int)
+	var fams [][]Sample
+	for _, e := range entries {
+		for _, s := range e.reg.Snapshot() {
+			s.Labels = append([]Label{{Key: a.key, Value: e.value}}, s.Labels...)
+			i, ok := famIdx[s.Name]
+			if !ok {
+				i = len(fams)
+				famIdx[s.Name] = i
+				fams = append(fams, nil)
+			}
+			fams[i] = append(fams[i], s)
+		}
+	}
+	var out []Sample
+	for _, fam := range fams {
+		out = append(out, fam...)
+	}
+	return out
+}
+
+// WritePrometheus renders the merged families in the text exposition
+// format: one HELP/TYPE pair per family (from its first-attached
+// registry), then every registry's series.
+func (a *Aggregate) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	samples := a.Snapshot()
+	last := ""
+	for _, s := range samples {
+		if s.Name != last {
+			fmt.Fprintf(bw, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, s.Kind)
+			last = s.Name
+		}
+		switch {
+		case s.Hist != nil:
+			writeHistogram(bw, s.Name, s.Labels, *s.Hist)
+		case s.Kind == KindCounter:
+			writeLine(bw, s.Name, s.Labels, "", "", strconv.FormatUint(uint64(s.Value), 10))
+		default:
+			writeLine(bw, s.Name, s.Labels, "", "", formatFloat(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the aggregate as a Prometheus scrape endpoint.
+func (a *Aggregate) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.WritePrometheus(w)
+	})
+}

@@ -167,10 +167,19 @@ type Network struct {
 	// NIC selects the emulator interface mode.
 	NIC NICMode
 	// Gateway is the perimeter appliance; nil routes straight to servers.
+	// When subnet routes are installed (AddGatewayRoute) it becomes the
+	// default for sources no route covers — the N=1 topology is just the
+	// zero-route special case of the fleet.
 	Gateway *Gateway
 	// BorderFilterEnabled applies RFC 7126 at the upstream router for
 	// non-internal destinations.
 	BorderFilterEnabled bool
+
+	// gwRoutes, when non-nil, maps device source subnets to their owning
+	// gateways: the fleet topology, where each enforcement point fronts
+	// one slice of the device population. One atomic pointer load per
+	// delivery when no routes are installed.
+	gwRoutes atomic.Pointer[[]gatewayRoute]
 
 	// faults, when non-nil, injects wire faults on the device→gateway
 	// path. One atomic pointer load per delivery when disarmed — the
@@ -199,6 +208,45 @@ func NewNetwork(nic NICMode, model LatencyModel) *Network {
 			CapturePostGateway:  {},
 		},
 	}
+}
+
+// gatewayRoute binds a device source subnet to its enforcement point.
+type gatewayRoute struct {
+	prefix netip.Prefix
+	gw     *Gateway
+}
+
+// AddGatewayRoute routes traffic whose source lies in prefix through gw —
+// the fleet's subnet topology. Routes are longest-prefix matched; sources
+// outside every route fall back to the legacy Gateway field. Installing a
+// route is copy-on-write, safe against concurrent deliveries.
+func (n *Network) AddGatewayRoute(prefix netip.Prefix, gw *Gateway) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var routes []gatewayRoute
+	if rp := n.gwRoutes.Load(); rp != nil {
+		routes = append(routes, *rp...)
+	}
+	routes = append(routes, gatewayRoute{prefix: prefix.Masked(), gw: gw})
+	n.gwRoutes.Store(&routes)
+}
+
+// GatewayFor resolves the gateway that fronts a device source address:
+// the longest matching installed route, else the legacy Gateway field.
+func (n *Network) GatewayFor(src netip.Addr) *Gateway {
+	if rp := n.gwRoutes.Load(); rp != nil {
+		routes := *rp
+		best := -1
+		for i := range routes {
+			if routes[i].prefix.Contains(src) && (best < 0 || routes[i].prefix.Bits() > routes[best].prefix.Bits()) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return routes[best].gw
+		}
+	}
+	return n.Gateway
 }
 
 // AddServer registers an endpoint.
@@ -327,16 +375,17 @@ func (n *Network) deliverCore(pkt *ipv4.Packet, skipGateway bool) Delivery {
 
 	cur := pkt
 	var d Delivery
-	if !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+	gw := n.GatewayFor(pkt.Header.Src)
+	if !skipGateway && gw != nil && gw.Active() {
 		// Kernel→user-space→kernel hop for the queue reader.
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
-		if n.Gateway.HasEnforcer() {
+		if gw.HasEnforcer() {
 			n.Clock.Advance(n.Model.EnforcerPerPacket)
 		}
-		if n.Gateway.HasSanitizer() {
+		if gw.HasSanitizer() {
 			n.Clock.Advance(n.Model.SanitizerPerPacket)
 		}
-		out, res, err := n.Gateway.Process(cur)
+		out, res, err := gw.Process(cur)
 		d.Enforcement = res
 		if err != nil || out == nil {
 			d.Stage = StageGateway
@@ -348,7 +397,7 @@ func (n *Network) deliverCore(pkt *ipv4.Packet, skipGateway bool) Delivery {
 	closed := n.serveOne(cur, &d)
 	// The response traverses the gateway's queue on the way back in
 	// (conntrack reinjection into the same NFQUEUE reader).
-	if d.Delivered && !skipGateway && n.Gateway != nil && n.Gateway.Active() {
+	if d.Delivered && !skipGateway && gw != nil && gw.Active() {
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
 		if closed {
 			// Legacy-payload fallback only: a plain-HTTP connection
@@ -357,7 +406,7 @@ func (n *Network) deliverCore(pkt *ipv4.Packet, skipGateway bool) Delivery {
 			// tag, so the teardown keys on the original device-egress
 			// packet). Transport flows never reach here — the gateway's
 			// conntrack already handled their FIN/RST.
-			n.Gateway.CloseFlow(pkt)
+			gw.CloseFlow(pkt)
 		}
 	}
 	d.Latency = n.Clock.Now() - start
@@ -533,25 +582,35 @@ func (n *Network) deliverBatchCore(pkts []*ipv4.Packet) []Delivery {
 	}
 	n.Clock.Advance(perNIC * time.Duration(len(pkts)))
 
-	var outcomes []BatchOutcome
-	gatewayOn := n.Gateway != nil && n.Gateway.Active()
-	if gatewayOn {
-		// One kernel→user-space transition for the burst, then per-packet
-		// enforcement/sanitizing costs as usual.
+	// Partition the burst per owning gateway (subnet routing); the
+	// zero-route topology is one group on the legacy Gateway field. Each
+	// gateway's queue reader crosses into user space once per burst, then
+	// charges its per-packet enforcement/sanitizing costs and drains its
+	// slice through its own per-core worker pool.
+	outcomes := make([]BatchOutcome, len(pkts))
+	groups := n.partitionByGateway(pkts)
+	activeGateways := 0
+	for gi := range groups {
+		g := &groups[gi]
+		if g.gw == nil || !g.gw.Active() {
+			for _, i := range g.idx {
+				outcomes[i] = BatchOutcome{Out: pkts[i]}
+			}
+			continue
+		}
+		activeGateways++
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
 		per := time.Duration(0)
-		if n.Gateway.HasEnforcer() {
+		if g.gw.HasEnforcer() {
 			per += n.Model.EnforcerPerPacket
 		}
-		if n.Gateway.HasSanitizer() {
+		if g.gw.HasSanitizer() {
 			per += n.Model.SanitizerPerPacket
 		}
-		n.Clock.Advance(per * time.Duration(len(pkts)))
-		outcomes, _ = n.Gateway.ProcessBatch(pkts)
-	} else {
-		outcomes = make([]BatchOutcome, len(pkts))
-		for i, pkt := range pkts {
-			outcomes[i] = BatchOutcome{Out: pkt}
+		n.Clock.Advance(per * time.Duration(len(g.pkts)))
+		res, _ := g.gw.ProcessBatch(g.pkts)
+		for j, i := range g.idx {
+			outcomes[i] = res[j]
 		}
 	}
 
@@ -562,22 +621,68 @@ func (n *Network) deliverBatchCore(pkts []*ipv4.Packet) []Delivery {
 			out[i].Stage = StageGateway
 			continue
 		}
-		if n.serveOne(o.Out, &out[i]) && gatewayOn {
+		if n.serveOne(o.Out, &out[i]) {
 			// Legacy-payload teardown, as on the scalar path, keyed on the
-			// still-tagged device-egress packet.
-			n.Gateway.CloseFlow(pkts[i])
+			// still-tagged device-egress packet at its own gateway.
+			if gw := n.GatewayFor(pkts[i].Header.Src); gw != nil && gw.Active() {
+				gw.CloseFlow(pkts[i])
+			}
 		}
 	}
-	// The responses traverse the gateway's queue on the way back in — one
-	// reinjection hop for the whole burst.
-	if gatewayOn {
-		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
-	}
+	// The responses traverse each involved gateway's queue on the way back
+	// in — one reinjection hop per gateway touched by the burst.
+	n.Clock.Advance(n.Model.NFQueueHopPerPacket * time.Duration(activeGateways))
 	total := n.Clock.Now() - start
 	for i := range out {
 		out[i].Latency = total
 	}
 	return out
+}
+
+// gwGroup is one gateway's slice of a burst: the packets it fronts and
+// their indices in the original order.
+type gwGroup struct {
+	gw   *Gateway
+	idx  []int
+	pkts []*ipv4.Packet
+}
+
+// partitionByGateway splits a burst by owning gateway, preserving each
+// packet's burst index so outcomes land back in order. Without installed
+// routes the whole burst is one group on the legacy Gateway field, with
+// the input slice reused as-is.
+func (n *Network) partitionByGateway(pkts []*ipv4.Packet) []gwGroup {
+	if n.gwRoutes.Load() == nil {
+		idx := make([]int, len(pkts))
+		for i := range idx {
+			idx[i] = i
+		}
+		return []gwGroup{{gw: n.Gateway, idx: idx, pkts: pkts}}
+	}
+	var groups []gwGroup
+	last := -1 // bursts are usually runs of same-subnet packets
+	for i, pkt := range pkts {
+		gw := n.GatewayFor(pkt.Header.Src)
+		at := -1
+		if last >= 0 && groups[last].gw == gw {
+			at = last
+		} else {
+			for gi := range groups {
+				if groups[gi].gw == gw {
+					at = gi
+					break
+				}
+			}
+			if at < 0 {
+				groups = append(groups, gwGroup{gw: gw})
+				at = len(groups) - 1
+			}
+		}
+		groups[at].idx = append(groups[at].idx, i)
+		groups[at].pkts = append(groups[at].pkts, pkt)
+		last = at
+	}
+	return groups
 }
 
 func (n *Network) captureAt(p CapturePoint, pkt *ipv4.Packet) {

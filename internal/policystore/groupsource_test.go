@@ -1,0 +1,173 @@
+package policystore
+
+import (
+	"strings"
+	"testing"
+
+	"borderpatrol/internal/policy"
+)
+
+const fleetDocV1 = `
+{[deny][library]["com/global/threat"]}
+//@group alpha
+{[deny][library]["com/tracker/alpha"]}
+//@group beta
+{[deny][library]["com/tracker/beta"]}
+`
+
+// assertNoForeignRules fails if the engine compiled any rule belonging to
+// another group's shard.
+func assertNoForeignRules(t *testing.T, eng *policy.Engine, foreign string) {
+	t.Helper()
+	for _, r := range eng.Rules() {
+		if strings.Contains(r.Target, foreign) {
+			t.Fatalf("engine leaked foreign group rule %v", r)
+		}
+	}
+}
+
+func TestGroupScopedSourceScopes(t *testing.T) {
+	eng := newEngine(t)
+	st, err := New(Config{
+		Source: NewGroupScopedSource(NewStaticSource(fleetDocV1), "alpha"),
+		Engine: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	rules := eng.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("alpha shard compiled %d rules, want 2 (global + alpha)", len(rules))
+	}
+	assertNoForeignRules(t, eng, "beta")
+	if s := st.Stats(); !strings.Contains(s.Source, "[groups:alpha]") {
+		t.Fatalf("source description = %q", s.Source)
+	}
+	if v := st.Version(); !strings.HasPrefix(v, "group:") {
+		t.Fatalf("scoped version = %q", v)
+	}
+}
+
+// TestGroupScopedSourceNoLeakAfterHotSwap is the satellite's first
+// coverage requirement: across a sequence of hot swaps — including swaps
+// that only touch another group — the scoped store must never compile
+// another group's rules, and must not even recompile (bump the engine
+// generation) for revisions outside its shard.
+func TestGroupScopedSourceNoLeakAfterHotSwap(t *testing.T) {
+	h := NewHub(fleetDocV1)
+	eng := newEngine(t)
+	st, err := New(Config{
+		Source: NewGroupScopedSource(h.Source(), "alpha"),
+		Engine: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	gen := eng.Generation()
+
+	// Swap 1: revise beta's shard only. The hub revisions, but alpha's
+	// scoped render is byte-identical — unchanged, no recompile.
+	h.Set(strings.Replace(fleetDocV1, "com/tracker/beta", "com/tracker/beta/v2", 1))
+	applied, err := st.Reload()
+	if err != nil || applied {
+		t.Fatalf("beta-only swap: applied=%v err=%v", applied, err)
+	}
+	if eng.Generation() != gen {
+		t.Fatalf("beta-only swap bumped generation %d → %d", gen, eng.Generation())
+	}
+	if s := st.Stats(); s.Unchanged != 1 {
+		t.Fatalf("stats after beta-only swap = %+v", s)
+	}
+	assertNoForeignRules(t, eng, "beta")
+
+	// Swap 2: revise alpha's shard. Applied, exactly one generation bump,
+	// new rule visible, still nothing foreign.
+	doc2 := strings.Replace(fleetDocV1, "com/tracker/alpha", "com/tracker/alpha/v2", 1)
+	h.Set(doc2)
+	applied, err = st.Reload()
+	if err != nil || !applied {
+		t.Fatalf("alpha swap: applied=%v err=%v", applied, err)
+	}
+	if eng.Generation() != gen+1 {
+		t.Fatalf("alpha swap: generation = %d, want %d", eng.Generation(), gen+1)
+	}
+	var sawNew bool
+	for _, r := range eng.Rules() {
+		sawNew = sawNew || r.Target == "com/tracker/alpha/v2"
+	}
+	if !sawNew {
+		t.Fatal("revised alpha rule not compiled")
+	}
+	assertNoForeignRules(t, eng, "beta")
+
+	// Swap 3: revise the global section — part of every shard, applied.
+	h.Set(strings.Replace(doc2, "com/global/threat", "com/global/threat/v2", 1))
+	applied, err = st.Reload()
+	if err != nil || !applied {
+		t.Fatalf("global swap: applied=%v err=%v", applied, err)
+	}
+	assertNoForeignRules(t, eng, "beta")
+
+	// Swap 4: a new group appears; still not alpha's problem.
+	h.Set(fleetDocV1 + "//@group gamma\n{[deny][library][\"com/tracker/gamma\"]}\n")
+	if _, err := st.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoForeignRules(t, eng, "beta")
+	assertNoForeignRules(t, eng, "gamma")
+}
+
+func TestGroupScopedSourceRejectsBadGroupedDoc(t *testing.T) {
+	h := NewHub(fleetDocV1)
+	eng := newEngine(t)
+	st, err := New(Config{
+		Source: NewGroupScopedSource(h.Source(), "alpha"),
+		Engine: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	gen := eng.Generation()
+	// A typo'd directive must be rejected — it would otherwise silently
+	// widen or narrow a shard — and last-good keeps serving.
+	h.Set("//@groups oops\n" + fleetDocV1)
+	if _, err := st.Reload(); err == nil {
+		t.Fatal("malformed grouped document accepted")
+	}
+	if eng.Generation() != gen {
+		t.Fatal("rejected document changed the engine")
+	}
+	if s := st.Stats(); s.Failures != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGroupScopedSourceMultipleGroups(t *testing.T) {
+	eng := newEngine(t)
+	st, err := New(Config{
+		Source: NewGroupScopedSource(NewStaticSource(fleetDocV1), "alpha", "beta"),
+		Engine: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if rules := eng.Rules(); len(rules) != 3 {
+		t.Fatalf("alpha+beta shard = %d rules, want 3", len(rules))
+	}
+}

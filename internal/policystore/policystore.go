@@ -126,8 +126,15 @@ type Config struct {
 	// Engine receives each compiled rule set via SetRules. Required.
 	Engine *policy.Engine
 	// Poll is the background reload interval; <= 0 disables the poller
-	// (Reload can still be called manually).
+	// (Reload can still be called manually). For watch-capable Sources it
+	// is the fallback polling interval used while the watch path is
+	// broken.
 	Poll time.Duration
+	// WatchTimeout bounds each blocking watch round for Sources that
+	// implement Watcher (default 30s). A round that times out counts as a
+	// healthy unchanged cycle — an idle fleet holds its staleness deadline
+	// open on watch timeouts alone.
+	WatchTimeout time.Duration
 	// MaxBackoff caps the poller's exponential error backoff (default 1m,
 	// never below Poll).
 	MaxBackoff time.Duration
@@ -174,6 +181,14 @@ type Stats struct {
 	// unchanged) completed — the fleet-health signal a scraper watches to
 	// spot pollers starving before they degrade.
 	LastGoodAge time.Duration
+	// Watching reports whether the store runs the blocking watch loop
+	// (its Source implements Watcher and Start has been called).
+	// WatchRounds counts completed watch rounds (applies, changes for
+	// other shards, and timeouts alike); WatchFallbacks counts watch
+	// errors that dropped the store back to plain polling for a round.
+	Watching       bool
+	WatchRounds    uint64
+	WatchFallbacks uint64
 	// Degraded reports whether the store has tripped its staleness
 	// deadline and put the engine in FailMode; DegradedEnters counts how
 	// many times it has done so over the store's lifetime.
@@ -208,6 +223,9 @@ type Store struct {
 	unchanged      atomic.Uint64
 	failures       atomic.Uint64
 	degradedEnters atomic.Uint64
+	watchRounds    atomic.Uint64
+	watchFallbacks atomic.Uint64
+	watching       atomic.Bool
 
 	// swapLatency times successful applies end to end: fetch through the
 	// engine's atomic swap. All on the reload goroutine, never on traffic.
@@ -266,6 +284,16 @@ func (s *Store) Load() error {
 // applied. On error the last-good rules keep serving and the failure is
 // counted. Safe to call concurrently with the poller and with traffic.
 func (s *Store) Reload() (applied bool, err error) {
+	return s.reloadWith(s.cfg.Source.Fetch, false)
+}
+
+// reloadWith is Reload with a pluggable fetch step: the poll loop passes
+// Source.Fetch, the watch loop passes a blocking Watcher.Watch round
+// (parked=true, so the hold time spent waiting for a change is excluded
+// from the swap-latency histogram). Everything downstream of the fetch —
+// parse, compile, swap, accounting, staleness — is identical on both
+// paths.
+func (s *Store) reloadWith(fetch func(prev string) (Candidate, bool, error), parked bool) (applied bool, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 
@@ -275,7 +303,10 @@ func (s *Store) Reload() (applied bool, err error) {
 	prev := s.version
 	s.mu.Unlock()
 
-	c, unchanged, err := s.cfg.Source.Fetch(prev)
+	c, unchanged, err := fetch(prev)
+	if parked {
+		cycleStart = time.Now()
+	}
 	if err != nil {
 		s.fail(err)
 		s.CheckStale()
@@ -379,15 +410,23 @@ func (s *Store) Degraded() bool {
 	return s.degraded
 }
 
-// Start launches the background poller (a no-op when Config.Poll <= 0).
-// Errors back off exponentially up to MaxBackoff and reset on the next
-// clean cycle.
+// Start launches the background reloader (a no-op when Config.Poll <= 0).
+// Watch-capable Sources get the blocking watch loop — a fleet-wide change
+// wakes the store immediately, and idle rounds cost one held connection
+// per WatchTimeout instead of a poll per Poll. Everything else gets the
+// jittered poller. Poll errors back off exponentially up to MaxBackoff
+// and reset on the next clean cycle.
 func (s *Store) Start() {
 	if s.cfg.Poll <= 0 {
 		return
 	}
 	s.startOne.Do(func() {
 		s.started.Store(true)
+		if w, ok := watchable(s.cfg.Source); ok {
+			s.watching.Store(true)
+			go s.watchLoop(w)
+			return
+		}
 		go s.pollLoop()
 	})
 }
@@ -423,6 +462,53 @@ func (s *Store) pollLoop() {
 	}
 }
 
+// defaultWatchTimeout bounds a watch round when Config.WatchTimeout is
+// unset.
+const defaultWatchTimeout = 30 * time.Second
+
+// watchLoop parks a blocking watch on the backend and applies whatever
+// each round returns. A round that errors drops the store back to one
+// plain jittered poll (with the poller's usual backoff on consecutive
+// errors), then retries the watch — so a dead long-poll path degrades to
+// exactly the polling behaviour, and staleness only trips if the plain
+// fetches fail too.
+func (s *Store) watchLoop(w Watcher) {
+	defer close(s.done)
+	timeout := s.cfg.WatchTimeout
+	if timeout <= 0 {
+		timeout = defaultWatchTimeout
+	}
+	interval := s.cfg.Poll
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		_, err := s.reloadWith(func(prev string) (Candidate, bool, error) {
+			return w.Watch(prev, timeout, s.stop)
+		}, true)
+		if err == nil {
+			s.watchRounds.Add(1)
+			interval = s.cfg.Poll
+			continue
+		}
+		s.watchFallbacks.Add(1)
+		timer := time.NewTimer(jitter(interval))
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if _, err := s.Reload(); err != nil {
+			interval = min(interval*2, s.cfg.MaxBackoff)
+		} else {
+			interval = s.cfg.Poll
+		}
+	}
+}
+
 // Close stops the poller and waits for it to exit. Idempotent; the engine
 // keeps serving the last applied rules.
 func (s *Store) Close() {
@@ -444,6 +530,12 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("bp_policy_degraded_enters_total",
 		"Times the store tripped its staleness deadline into the configured fail mode.",
 		s.degradedEnters.Load)
+	r.CounterFunc("bp_policy_watch_rounds_total",
+		"Completed blocking watch rounds (applies, other-shard revisions, and idle timeouts).",
+		s.watchRounds.Load)
+	r.CounterFunc("bp_policy_watch_fallbacks_total",
+		"Watch rounds that errored and fell back to a plain poll.",
+		s.watchFallbacks.Load)
 	r.GaugeFunc("bp_policy_staleness_age_seconds",
 		"Age of the last successful reload cycle.",
 		func() float64 { return s.LastGoodAge().Seconds() })
@@ -488,6 +580,9 @@ func (s *Store) Stats() Stats {
 		LastError:      lastErr,
 		Source:         s.cfg.Source.String(),
 		LastGoodAge:    age,
+		Watching:       s.watching.Load(),
+		WatchRounds:    s.watchRounds.Load(),
+		WatchFallbacks: s.watchFallbacks.Load(),
 		Degraded:       degraded,
 		DegradedEnters: s.degradedEnters.Load(),
 		FailMode:       s.cfg.FailMode.String(),

@@ -1,10 +1,12 @@
 package policystore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -134,10 +136,62 @@ func (s *HTTPSource) Fetch(prev string) (Candidate, bool, error) {
 	if err != nil {
 		return Candidate{}, false, fmt.Errorf("policystore: %w", err)
 	}
+	return s.roundTrip(s.client, req, prev)
+}
+
+// Watch issues a long-poll GET: ?watch=<timeout> asks the endpoint (see
+// Hub.Handler for the contract) to hold an If-None-Match match open until
+// a new revision lands or the hold expires, which then answers 304. The
+// request runs on a clone of the configured client with the overall
+// client timeout lifted — the context bounds the hold instead — so the
+// default 10s Fetch client does not kill a 30s watch mid-hold. Endpoints
+// that ignore the watch parameter just answer immediately, which the
+// Store's watch loop tolerates (each answer is a valid cycle).
+func (s *HTTPSource) Watch(prev string, timeout time.Duration, cancel <-chan struct{}) (Candidate, bool, error) {
+	// Grace covers response transfer after a full-length hold.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), timeout+10*time.Second)
+	defer cancelCtx()
+	if cancel != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancel:
+				cancelCtx()
+			case <-done:
+			}
+		}()
+	}
+	sep := "?"
+	if strings.Contains(s.url, "?") {
+		sep = "&"
+	}
+	url := s.url + sep + "watch=" + timeout.String()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Candidate{}, false, fmt.Errorf("policystore: %w", err)
+	}
+	watchClient := *s.client
+	watchClient.Timeout = 0
+	c, unchanged, err := s.roundTrip(&watchClient, req, prev)
+	if err != nil && cancel != nil {
+		select {
+		case <-cancel:
+			// Shutdown raced the request; report a quiet idle round.
+			return Candidate{}, true, nil
+		default:
+		}
+	}
+	return c, unchanged, err
+}
+
+// roundTrip sends the (possibly conditional) request and decodes the
+// fetch contract from the response.
+func (s *HTTPSource) roundTrip(client *http.Client, req *http.Request, prev string) (Candidate, bool, error) {
 	if s.etag != "" && prev != "" {
 		req.Header.Set("If-None-Match", s.etag)
 	}
-	resp, err := s.client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return Candidate{}, false, fmt.Errorf("policystore: fetch: %w", err)
 	}

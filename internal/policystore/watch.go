@@ -1,0 +1,206 @@
+package policystore
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file adds the push half of fleet policy distribution. Polling
+// alone makes a fleet-wide change cost N staggered rounds (jittered
+// deliberately — see jitter); a watch-capable backend lets every
+// gateway's store park a blocking long-poll and have ONE controller
+// revision wake them all, so the change propagates in a single round.
+//
+// The Store prefers the watch loop whenever its Source implements
+// Watcher, and degrades to plain polling the moment a watch round errors
+// (connection dropped, proxy killed the hold, backend restarting) —
+// watch is an optimization, never a new availability dependency.
+
+// Watcher is an optional Source extension for backends that can block
+// until the document changes. Watch has Fetch semantics — prev is the
+// last version this consumer saw — plus a hold: when the backend's
+// current version equals prev, the call blocks until a new revision
+// lands, the timeout elapses (→ unchanged, a healthy idle round), or
+// cancel is closed (→ unchanged, the store is shutting down).
+type Watcher interface {
+	Source
+	Watch(prev string, timeout time.Duration, cancel <-chan struct{}) (Candidate, bool, error)
+}
+
+// watchProbe lets a wrapping source report whether its backend actually
+// supports watch, so implementing Watcher structurally (as wrappers must)
+// does not force the Store onto the watch path over a poll-only backend.
+type watchProbe interface{ watchCapable() bool }
+
+// watchable reports the Source as a Watcher when the watch path is real.
+func watchable(src Source) (Watcher, bool) {
+	w, ok := src.(Watcher)
+	if !ok {
+		return nil, false
+	}
+	if p, ok := src.(watchProbe); ok && !p.watchCapable() {
+		return nil, false
+	}
+	return w, true
+}
+
+// maxWatchHold caps how long Hub.Handler will hold a long-poll open, so a
+// client asking for an absurd hold cannot pin a connection for hours.
+const maxWatchHold = 5 * time.Minute
+
+// Hub is an in-process fleet policy control plane: one authoritative
+// grouped document, revisioned on every Set, fanned out to any number of
+// gateways. Gateways consume it either directly (Source, zero-copy
+// in-process) or over HTTP (Handler, which HTTPSource polls and watches).
+// Both paths support blocking watch, so a fleet-wide Set wakes every
+// parked gateway at once.
+type Hub struct {
+	mu      sync.Mutex
+	doc     string
+	version string
+	rev     uint64
+	changed chan struct{} // closed and replaced on every revision
+}
+
+// NewHub builds a Hub serving the given document as revision 1.
+func NewHub(doc string) *Hub {
+	h := &Hub{changed: make(chan struct{})}
+	h.publish(doc)
+	return h
+}
+
+// publish installs doc as the next revision. Callers hold h.mu or have
+// exclusive access (NewHub).
+func (h *Hub) publish(doc string) {
+	h.rev++
+	h.doc = doc
+	h.version = fmt.Sprintf("rev%d-%s", h.rev, contentVersion([]byte(doc)))
+	close(h.changed)
+	h.changed = make(chan struct{})
+}
+
+// Set publishes a new document and returns its version, waking every
+// parked watcher. Publishing identical bytes is a no-op (the current
+// version is returned and nobody wakes).
+func (h *Hub) Set(doc string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if doc != h.doc {
+		h.publish(doc)
+	}
+	return h.version
+}
+
+// Get returns the current document and its version.
+func (h *Hub) Get() (doc, version string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.doc, h.version
+}
+
+// Rev returns the current revision number (1 after NewHub, +1 per Set).
+func (h *Hub) Rev() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rev
+}
+
+// state snapshots the document, version, and the channel that closes on
+// the next revision.
+func (h *Hub) state() (doc, version string, changed <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.doc, h.version, h.changed
+}
+
+// Source returns an in-process Source+Watcher over the hub. Each store
+// needs its own instance (Sources are single-consumer); all instances
+// share the hub's document.
+func (h *Hub) Source() *HubSource { return &HubSource{h: h} }
+
+// HubSource adapts a Hub to the Source and Watcher interfaces.
+type HubSource struct{ h *Hub }
+
+// Fetch returns the hub's current document when it differs from prev.
+func (s *HubSource) Fetch(prev string) (Candidate, bool, error) {
+	doc, version := s.h.Get()
+	if prev != "" && prev == version {
+		return Candidate{}, true, nil
+	}
+	return Candidate{Doc: doc, Version: version}, false, nil
+}
+
+// Watch blocks until the hub's version differs from prev, the timeout
+// elapses, or cancel closes.
+func (s *HubSource) Watch(prev string, timeout time.Duration, cancel <-chan struct{}) (Candidate, bool, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		doc, version, changed := s.h.state()
+		if prev == "" || prev != version {
+			return Candidate{Doc: doc, Version: version}, false, nil
+		}
+		select {
+		case <-changed:
+		case <-deadline.C:
+			return Candidate{}, true, nil
+		case <-cancel:
+			return Candidate{}, true, nil
+		}
+	}
+}
+
+// String describes the backend.
+func (s *HubSource) String() string { return "hub" }
+
+// Handler serves the hub over HTTP in the shape HTTPSource speaks:
+// ETag/If-None-Match conditional GETs, plus an optional ?watch=<duration>
+// long-poll — a request whose If-None-Match matches the current revision
+// is held (up to the requested duration, capped at 5m) until a new
+// revision lands, then answered; an expired hold answers 304 with an
+// empty body, exactly like an unchanged conditional poll.
+func (h *Hub) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var hold time.Duration
+		if v := r.URL.Query().Get("watch"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				http.Error(w, "bad watch duration", http.StatusBadRequest)
+				return
+			}
+			hold = min(d, maxWatchHold)
+		}
+		inm := r.Header.Get("If-None-Match")
+		doc, version, changed := h.state()
+		if hold > 0 && inm == etagFor(version) {
+			timer := time.NewTimer(hold)
+			select {
+			case <-changed:
+				doc, version, _ = h.state()
+			case <-timer.C:
+			case <-r.Context().Done():
+			}
+			timer.Stop()
+		}
+		if inm == etagFor(version) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etagFor(version))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		io.WriteString(w, doc)
+	})
+}
+
+// etagFor renders a hub version as a strong ETag.
+func etagFor(version string) string { return `"` + version + `"` }
