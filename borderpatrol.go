@@ -43,6 +43,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/audit"
 	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/experiments"
@@ -93,6 +94,16 @@ type (
 	GeneratedApp = apkgen.App
 	// CorpusConfig controls corpus generation.
 	CorpusConfig = apkgen.Config
+	// DeviceContext is the per-device half of the contextual policy
+	// dimension: network trust class, posture, apparent travel velocity.
+	DeviceContext = policy.DeviceContext
+	// NetworkClass is a device's network trust class.
+	NetworkClass = policy.NetworkClass
+	// ContextSource is a deployment's device-context store: per-device
+	// context keyed by address, plus the generation counter the enforcer
+	// folds into its flow-cache key so any context change invalidates the
+	// affected cached verdicts. See Deployment.Context.
+	ContextSource = devctx.Source
 )
 
 // Policy grammar constants.
@@ -107,7 +118,19 @@ const (
 
 	VerdictAllow = policy.VerdictAllow
 	VerdictDrop  = policy.VerdictDrop
+
+	// Network trust classes for contextual risk rules
+	// ({[risk][network]["trusted"][-30]} and friends).
+	NetUnknown  = policy.NetUnknown
+	NetTrusted  = policy.NetTrusted
+	NetCellular = policy.NetCellular
 )
+
+// ParseNetworkClass parses a network trust class keyword
+// ("trusted", "cellular", "unknown").
+func ParseNetworkClass(s string) (NetworkClass, error) {
+	return policy.ParseNetworkClass(s)
+}
 
 // ParsePolicy parses a policy document in the paper's grammar (§IV-B).
 func ParsePolicy(doc string) ([]Rule, error) {
@@ -198,6 +221,7 @@ type Deployment struct {
 	gateway   *netsim.Gateway
 	audit     *audit.Log
 	policy    *policystore.Store
+	context   *devctx.Source
 	metrics   *metrics.Registry
 }
 
@@ -327,7 +351,22 @@ func build(cfg Config, network *netsim.Network, name string) (*Deployment, error
 		TailCap:  256,
 		QueueCap: cfg.Audit.QueueCap,
 	})
-	enfCfg := enforcer.Config{AllowUntagged: cfg.Policy.AllowUntagged, Audit: auditLog}
+	// Every deployment carries a device-context source: risk rules read it
+	// on the SYN/cache-miss path, and its generation counter keys cached
+	// verdicts so context changes invalidate them. Without risk rules it is
+	// inert (ContextActive gates all lookups).
+	ctxSrc := devctx.NewSource(network.Clock)
+	device.BindContext(ctxSrc)
+	if cfg.Policy.InitialContext != nil {
+		ctxSrc.Provision(addr, *cfg.Policy.InitialContext)
+	}
+
+	enfCfg := enforcer.Config{
+		AllowUntagged: cfg.Policy.AllowUntagged,
+		Audit:         auditLog,
+		Context:       ctxSrc,
+		Clock:         network.Clock,
+	}
 	if cfg.Flow.CacheSize >= 0 {
 		ttl := cfg.Flow.TTL
 		if ttl == 0 {
@@ -372,6 +411,7 @@ func build(cfg Config, network *netsim.Network, name string) (*Deployment, error
 		gateway:   gw,
 		audit:     auditLog,
 		policy:    store,
+		context:   ctxSrc,
 		metrics:   reg,
 	}, nil
 }
@@ -553,6 +593,12 @@ func (d *Deployment) AuditTail() []AuditEntry {
 
 // Device exposes the provisioned device (advanced scenarios and tests).
 func (d *Deployment) Device() *android.Device { return d.device }
+
+// Context exposes the deployment's device-context source. Update it (or
+// let the device's Report* methods update it) to change what contextual
+// risk rules see; every effective change bumps the context generation and
+// invalidates the cached verdicts of affected flows on their next packet.
+func (d *Deployment) Context() *ContextSource { return d.context }
 
 // DeploymentStats aggregates component counters.
 //

@@ -37,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|pipeline|fleet|all")
+	which := flag.String("run", "all", "experiment: fig3|validation|cloud|facebook|fig4|keepalive|flowsize|replay|whitelist|dns|soak|pipeline|fleet|context|all")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full workload sizes")
 	seed := flag.Int64("seed", 2019, "corpus seed")
 	benchJSON := flag.String("bench-json", "BENCH_pipeline.json", "machine-readable output path for the pipeline benchmark")
@@ -45,6 +45,8 @@ func run() error {
 	fleetDevices := flag.Int("fleet-devices", 0, "fleet experiment: pooled devices per gateway (0 = 1250, or 150 without -paper-scale)")
 	fleetBatch := flag.Int("fleet-batch", 0, "fleet experiment: gateway drain burst size (0 = 1024)")
 	fleetJSON := flag.String("fleet-json", "BENCH_fleet.json", "machine-readable output path for the fleet benchmark")
+	contextDevices := flag.Int("context-devices", 0, "context experiment: pooled devices (0 = 64, or 32 without -paper-scale)")
+	contextJSON := flag.String("context-json", "BENCH_context.json", "machine-readable output path for the context experiment")
 	auditFlags := cliflags.RegisterAudit(flag.CommandLine)
 	metricsFlags := cliflags.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
@@ -277,6 +279,32 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *fleetJSON)
+		}
+	}
+
+	if all || want["context"] {
+		section("E16 — Contextual policy: risk-scored predicates over a device pool")
+		ccfg := experiments.ContextRunConfig{Devices: *contextDevices, Seed: *seed}
+		if !*paperScale {
+			if ccfg.Devices == 0 {
+				ccfg.Devices = 32
+			}
+			ccfg.HitIterations = 100_000
+		}
+		res, err := experiments.RunContext(ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		if err := res.Check(); err != nil {
+			return err
+		}
+		fmt.Println("all context invariants held")
+		if *contextJSON != "" {
+			if err := res.WriteJSON(*contextJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *contextJSON)
 		}
 	}
 

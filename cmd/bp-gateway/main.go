@@ -59,9 +59,14 @@ func run() error {
 	policyFlags := cliflags.RegisterPolicy(flag.CommandLine)
 	auditFlags := cliflags.RegisterAudit(flag.CommandLine)
 	metricsFlags := cliflags.RegisterMetrics(flag.CommandLine)
+	contextFlags := cliflags.RegisterContext(flag.CommandLine)
 	flag.Parse()
 
 	policySource, failMode, err := policyFlags.Source(*policyPath != "")
+	if err != nil {
+		return err
+	}
+	deviceCtx, err := contextFlags.DeviceContext()
 	if err != nil {
 		return err
 	}
@@ -106,6 +111,10 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if deviceCtx != nil {
+		tb.Context.Provision(tb.Device.Config().Addr, *deviceCtx)
+		fmt.Printf("device context: network %s, patch age %dd\n", deviceCtx.Network, deviceCtx.PatchAgeDays)
 	}
 	if tb.Policy != nil {
 		ps := tb.Policy.Stats()

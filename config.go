@@ -46,6 +46,13 @@ type PolicyConfig struct {
 	// AllowUntagged admits packets without a BorderPatrol tag (default
 	// false: the paper drops them inside the perimeter).
 	AllowUntagged bool
+	// InitialContext provisions the device's context (network trust class,
+	// posture) into the deployment's device-context source at construction,
+	// so contextual risk rules in Doc score the very first flow against
+	// known context instead of the unknown-device default. nil leaves the
+	// device unprovisioned (the least-trusted posture) until it reports or
+	// the source is updated via Deployment.Context().
+	InitialContext *DeviceContext
 }
 
 // FlowConfig shapes the gateway dataplane: the per-flow verdict cache and

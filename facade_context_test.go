@@ -1,0 +1,111 @@
+package borderpatrol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeploymentContextualPolicy drives the contextual dimension through
+// the public facade: risk rules in Config.Policy.Doc, an initial device
+// context, Exercise outcomes flipping with the device's reported context,
+// and the bp_context_* metric families on the deployment registry.
+func TestDeploymentContextualPolicy(t *testing.T) {
+	dep, err := New(Config{
+		Policy: PolicyConfig{
+			Doc: `
+{[deny][library]["com/flurry"]}
+{[risk][network]["unknown"][100]}
+{[risk][network]["trusted"][-50]}
+{[threshold][block][100]}
+`,
+			InitialContext: &DeviceContext{Network: NetTrusted},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	app, err := dep.InstallApp(demoAPK(), demoFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trusted network: the provisioned context keeps the risk score below
+	// the block threshold, so the business flow delivers.
+	out, err := dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if !o.Delivered {
+			t.Fatalf("trusted download packet %d dropped: %+v", i, o)
+		}
+	}
+
+	// The device roams to an unknown network. The report flows through the
+	// bound context source, bumps the generation, and the next flow (and
+	// any cached one) scores 100 ≥ block.
+	dep.Device().ReportNetwork(NetUnknown)
+	out, err = dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for _, o := range out {
+		if !o.Delivered {
+			dropped++
+			if !strings.Contains(o.Reason, "risk score") {
+				t.Fatalf("drop reason = %q, want risk-score explanation", o.Reason)
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no packet dropped after roaming to an unknown network")
+	}
+
+	// Roaming back re-admits.
+	dep.Device().ReportNetwork(NetTrusted)
+	out, err = dep.Exercise(app, "download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if !o.Delivered {
+			t.Fatalf("re-trusted download packet %d dropped: %+v", i, o)
+		}
+	}
+
+	// The context surface is observable: source stats and metric families.
+	if st := dep.Context().Stats(); st.Devices != 1 || st.Invalidations["network"] != 2 {
+		t.Fatalf("context stats = %+v", st)
+	}
+	var prom strings.Builder
+	if err := dep.Metrics().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"bp_context_evaluations_total",
+		"bp_context_invalidations_total",
+		"bp_context_devices",
+	} {
+		if !strings.Contains(prom.String(), family) {
+			t.Fatalf("metric family %s missing from scrape", family)
+		}
+	}
+}
+
+// TestDeploymentContextRoundTripsThroughParsePolicy pins the facade-level
+// grammar surface: contextual rules survive ParsePolicy → FormatPolicy.
+func TestDeploymentContextRoundTripsThroughParsePolicy(t *testing.T) {
+	doc := `{[risk][posture]["screen-unlocked"][25]}
+{[risk][travel]["impossible"][100]}
+{[threshold][warn][40]}
+`
+	rules, err := ParsePolicy(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatPolicy(rules); got != doc {
+		t.Fatalf("round trip:\n%s\nwant:\n%s", got, doc)
+	}
+}

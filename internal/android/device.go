@@ -15,6 +15,7 @@ import (
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/kernel"
 	"borderpatrol/internal/netstack"
+	"borderpatrol/internal/policy"
 )
 
 // Config selects how a device is provisioned.
@@ -41,12 +42,23 @@ type Module interface {
 	HandleLoadPackage(app *App) error
 }
 
+// ContextSink receives the device's self-reported context signals — the
+// MDM/agent channel of the contextual policy dimension. devctx.Source
+// satisfies it; the device never imports the gateway side.
+type ContextSink interface {
+	SetNetwork(addr netip.Addr, class policy.NetworkClass)
+	SetScreenLocked(addr netip.Addr, locked bool)
+	SetPatchAge(addr netip.Addr, days int32)
+	ObserveLocation(addr netip.Addr, lat, lon float64)
+}
+
 // Device is one simulated smart device.
 type Device struct {
 	mu      sync.Mutex
 	cfg     Config
 	kern    *kernel.Kernel
 	stack   *netstack.Stack
+	ctx     ContextSink
 	modules []Module
 	// apps by uid; uids start at firstAppUID like Android's app sandboxes.
 	apps  map[int]*App
@@ -85,6 +97,53 @@ func (d *Device) Stack() *netstack.Stack { return d.stack }
 
 // Config returns the provisioning configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// BindContext connects the device to a gateway-side context sink: from now
+// on Report* calls forward the device's context signals keyed by its
+// address. A nil sink unbinds.
+func (d *Device) BindContext(sink ContextSink) {
+	d.mu.Lock()
+	d.ctx = sink
+	d.mu.Unlock()
+}
+
+// contextSink returns the bound sink, if any.
+func (d *Device) contextSink() ContextSink {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctx
+}
+
+// ReportNetwork reports the network the device attached to (SSID roam,
+// cellular handoff). No-op while unbound.
+func (d *Device) ReportNetwork(class policy.NetworkClass) {
+	if s := d.contextSink(); s != nil {
+		s.SetNetwork(d.cfg.Addr, class)
+	}
+}
+
+// ReportScreenLocked reports the device's screen-lock state.
+func (d *Device) ReportScreenLocked(locked bool) {
+	if s := d.contextSink(); s != nil {
+		s.SetScreenLocked(d.cfg.Addr, locked)
+	}
+}
+
+// ReportPatchAge reports the age in days of the device's security patch
+// level.
+func (d *Device) ReportPatchAge(days int32) {
+	if s := d.contextSink(); s != nil {
+		s.SetPatchAge(d.cfg.Addr, days)
+	}
+}
+
+// ReportLocation reports a location fix; the sink derives the apparent
+// travel velocity from successive fixes.
+func (d *Device) ReportLocation(lat, lon float64) {
+	if s := d.contextSink(); s != nil {
+		s.ObserveLocation(d.cfg.Addr, lat, lon)
+	}
+}
 
 // LoadModule installs an instrumentation module. It fails on stock images
 // without Xposed — the paper's production story replaces this with

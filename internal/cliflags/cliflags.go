@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"borderpatrol/internal/audit"
+	"borderpatrol/internal/policy"
 	"borderpatrol/internal/policystore"
 )
 
@@ -80,6 +81,43 @@ func (p *Policy) Source(staticSet bool) (policystore.Source, policystore.FailMod
 		return nil, failMode, errors.New("-policy-max-stale requires -policy-file or -policy-url")
 	}
 	return src, failMode, nil
+}
+
+// Context holds the device-context flags: -device-network and
+// -device-patch-age. They provision the simulated device's context so
+// contextual risk rules ({[risk][network][...]} and friends) score flows
+// against known context instead of the unknown-device default.
+type Context struct {
+	NetworkName string
+	PatchAge    int
+}
+
+// RegisterContext declares the shared device-context flags on fs.
+func RegisterContext(fs *flag.FlagSet) *Context {
+	c := &Context{}
+	fs.StringVar(&c.NetworkName, "device-network", "", "device network trust class for contextual risk rules: trusted|cellular|unknown (empty = unprovisioned)")
+	fs.IntVar(&c.PatchAge, "device-patch-age", 0, "age in days of the device's security patch level (with -device-network)")
+	return c
+}
+
+// DeviceContext validates the parsed flags and builds the initial device
+// context — nil when -device-network was not given (the unprovisioned,
+// least-trusted default).
+func (c *Context) DeviceContext() (*policy.DeviceContext, error) {
+	if c.NetworkName == "" {
+		if c.PatchAge != 0 {
+			return nil, errors.New("-device-patch-age requires -device-network")
+		}
+		return nil, nil
+	}
+	class, err := policy.ParseNetworkClass(c.NetworkName)
+	if err != nil {
+		return nil, err
+	}
+	if c.PatchAge < 0 {
+		return nil, fmt.Errorf("-device-patch-age %d is negative", c.PatchAge)
+	}
+	return &policy.DeviceContext{Network: class, PatchAgeDays: int32(c.PatchAge)}, nil
 }
 
 // Audit holds the enforcement-audit flags: -audit, -audit-rotate-bytes

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"borderpatrol/internal/policy"
 )
 
 func newSet(t *testing.T, args ...string) (*Policy, *Audit, *Metrics) {
@@ -146,5 +148,38 @@ func TestMetricsWait(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "lingering") {
 		t.Fatalf("no note: %q", sb.String())
+	}
+}
+
+func newContextSet(t *testing.T, args ...string) *Context {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterContext(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestContextFlags(t *testing.T) {
+	// Unset: nil context, the unprovisioned default.
+	if ctx, err := newContextSet(t).DeviceContext(); err != nil || ctx != nil {
+		t.Fatalf("default context = %+v err=%v", ctx, err)
+	}
+	// -device-network with patch age.
+	ctx, err := newContextSet(t, "-device-network", "cellular", "-device-patch-age", "45").DeviceContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Network != policy.NetCellular || ctx.PatchAgeDays != 45 {
+		t.Fatalf("context = %+v", ctx)
+	}
+	// Invalid class name.
+	if _, err := newContextSet(t, "-device-network", "wifi").DeviceContext(); err == nil {
+		t.Fatal("bogus class accepted")
+	}
+	// Patch age without a network class.
+	if _, err := newContextSet(t, "-device-patch-age", "10").DeviceContext(); err == nil {
+		t.Fatal("-device-patch-age accepted without -device-network")
 	}
 }

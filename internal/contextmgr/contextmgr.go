@@ -47,7 +47,18 @@ type appState struct {
 	hash     dex.TruncatedHash
 	lineTab  *dex.LineTable
 	sigIndex map[string]uint32
-	stripped bool
+	// overloadIndex maps a merged signature's package/class/name key to
+	// the lowest index among its overloads, precomputed at load time so
+	// the per-socket hot path is a single map probe instead of a full
+	// sigIndex scan with a ParseSignature per key.
+	overloadIndex map[string]uint32
+	stripped      bool
+}
+
+// overloadKey is the merged-signature lookup key: overloads share
+// package, class and method name and differ only in the prototype.
+func overloadKey(pkg, class, name string) string {
+	return pkg + ";" + class + ";" + name
 }
 
 // Stats counts Context Manager activity for the performance evaluation.
@@ -103,13 +114,23 @@ func (m *Manager) HandleLoadPackage(app *android.App) error {
 		return fmt.Errorf("contextmgr: analyze %s: %w", app.APK.PackageName, err)
 	}
 	st := &appState{
-		hash:     app.APK.Truncated(),
-		lineTab:  dex.NewLineTable(app.APK),
-		sigIndex: make(map[string]uint32, len(entry.Signatures)),
-		stripped: entry.DebugStripped,
+		hash:          app.APK.Truncated(),
+		lineTab:       dex.NewLineTable(app.APK),
+		sigIndex:      make(map[string]uint32, len(entry.Signatures)),
+		overloadIndex: make(map[string]uint32, len(entry.Signatures)),
+		stripped:      entry.DebugStripped,
 	}
 	for i, raw := range entry.Signatures {
-		st.sigIndex[raw] = uint32(i)
+		idx := uint32(i)
+		st.sigIndex[raw] = idx
+		sig, err := dex.ParseSignature(raw)
+		if err != nil {
+			continue
+		}
+		key := overloadKey(sig.Package, sig.Class, sig.Name)
+		if prev, ok := st.overloadIndex[key]; !ok || idx < prev {
+			st.overloadIndex[key] = idx
+		}
 	}
 	m.mu.Lock()
 	m.apps[app.UID] = st
@@ -153,7 +174,7 @@ func (m *Manager) onSocketConnected(device *android.Device, sock *netstack.JavaS
 			// Merged signatures are not in the index; use the first
 			// overload's slot so the enforcer can still identify the
 			// method name deterministically.
-			idx, found = m.firstOverloadIndex(st, sig)
+			idx, found = st.overloadIndex[overloadKey(sig.Package, sig.Class, sig.Name)]
 		}
 		if !found {
 			dropped++
@@ -179,11 +200,24 @@ func (m *Manager) onSocketConnected(device *android.Device, sock *netstack.JavaS
 	// Step 4: inject via the JNI shim (setsockopt IP_OPTIONS).
 	err = m.shim.SetIPOptions(sock.FD(), []ipv4.Option{{Type: ipv4.OptSecurity, Data: payload}})
 
+	// Expose the captured context for tests/extractor. Published through
+	// the socket's own synchronized accessor — the manager's mutex below
+	// guards only the manager's stats, and readers of the socket never
+	// take it.
+	if err == nil {
+		sock.SetContext(resolved)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.FramesResolved += kept
 	m.stats.FramesDropped += dropped
-	if len(indexes) > tag.MaxNarrowFrames {
+	// The encoder is the single source of truth for truncation: its flag
+	// byte reflects the budget it actually applied — 14 narrow frames but
+	// only 9 wide ones. Comparing len(indexes) against MaxNarrowFrames
+	// here undercounts wide-index stacks of 10..14 frames, which the
+	// encoder truncated at 9 without exceeding the narrow threshold.
+	if len(payload) > 0 && payload[0]&tag.FlagTruncated != 0 {
 		m.stats.StacksTruncated++
 	}
 	if err != nil {
@@ -192,27 +226,6 @@ func (m *Manager) onSocketConnected(device *android.Device, sock *netstack.JavaS
 		return
 	}
 	m.stats.SocketsTagged++
-	sock.Ctx = resolved // expose the captured context for tests/extractor
-}
-
-// firstOverloadIndex finds the index of the lexicographically first
-// overload matching a merged signature's class and name.
-func (m *Manager) firstOverloadIndex(st *appState, merged dex.Signature) (uint32, bool) {
-	best := uint32(0)
-	found := false
-	for raw, idx := range st.sigIndex {
-		sig, err := dex.ParseSignature(raw)
-		if err != nil {
-			continue
-		}
-		if sig.Package == merged.Package && sig.Class == merged.Class && sig.Name == merged.Name {
-			if !found || idx < best {
-				best = idx
-				found = true
-			}
-		}
-	}
-	return best, found
 }
 
 func (m *Manager) recordErr(err error) {

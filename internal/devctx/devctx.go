@@ -1,0 +1,294 @@
+// Package devctx is the gateway's device-context source: the per-device
+// half of the contextual policy dimension (policy.DeviceContext), keyed by
+// the device's source address. The MDM/agent side of a real deployment
+// reports network attachment, posture and location; here the virtual
+// android devices and netsim device pools feed the same interface.
+//
+// Concurrency contract: Lookup runs on the enforcer's SYN/cache-miss path
+// under a read lock (never on the per-packet cache-hit path); the Set*
+// update methods take the write lock, publish the new state, and only then
+// bump the generation counter — mirroring policy.Engine.SetRules, so any
+// reader observing the new generation is guaranteed to see at least the
+// new context, and a verdict cached under the new generation can never
+// reflect the old context.
+package devctx
+
+import (
+	"math"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"borderpatrol/internal/metrics"
+	"borderpatrol/internal/policy"
+)
+
+// Clock supplies virtual time for velocity computation (netsim.Clock
+// satisfies it).
+type Clock interface {
+	Now() time.Duration
+}
+
+// Cause classifies what changed a device's context, for the
+// bp_context_invalidations_total{cause=...} metric family.
+type Cause int
+
+// Invalidation causes.
+const (
+	// CauseNetwork is a network trust-class change (SSID roam).
+	CauseNetwork Cause = iota
+	// CausePosture is a posture change (screen lock, patch level).
+	CausePosture
+	// CauseTravel is a location observation that changed the velocity.
+	CauseTravel
+	// CauseProvision is a wholesale context replacement.
+	CauseProvision
+
+	causeCount
+)
+
+// String names the cause as its metric label value.
+func (c Cause) String() string {
+	switch c {
+	case CauseNetwork:
+		return "network"
+	case CausePosture:
+		return "posture"
+	case CauseTravel:
+		return "travel"
+	case CauseProvision:
+		return "provision"
+	default:
+		return "unknown"
+	}
+}
+
+// MaxVelocityKmh caps the stored apparent velocity (two observations at
+// the same virtual instant would otherwise be infinite).
+const MaxVelocityKmh = 100000
+
+type deviceState struct {
+	ctx policy.DeviceContext
+
+	// Last location observation, for velocity derivation.
+	hasLoc   bool
+	lat, lon float64
+	locAt    time.Duration
+}
+
+// Source holds the current context of every known device and a generation
+// counter the enforcer folds into its flow-cache key: bumping it on any
+// context change invalidates every cached verdict, forcing re-evaluation
+// against the new context on the next packet of each flow.
+type Source struct {
+	clock Clock
+
+	mu      sync.RWMutex
+	devices map[netip.Addr]*deviceState
+
+	gen           atomic.Uint64
+	invalidations [causeCount]atomic.Uint64
+}
+
+// NewSource builds an empty device-context source. clock may be nil when
+// no caller uses location observations (velocity then stays zero).
+func NewSource(clock Clock) *Source {
+	return &Source{clock: clock, devices: make(map[netip.Addr]*deviceState)}
+}
+
+// Generation returns the context generation: the number of effective
+// context changes so far. The enforcer folds it into the combined
+// generation the flow table keys verdicts on.
+func (s *Source) Generation() uint64 { return s.gen.Load() }
+
+// Lookup returns the device's current context snapshot. Unknown devices
+// report the zero DeviceContext — unknown network, the least trusted
+// class — so unprovisioned devices default to the risky posture.
+func (s *Source) Lookup(addr netip.Addr) (policy.DeviceContext, bool) {
+	s.mu.RLock()
+	st, ok := s.devices[addr]
+	var ctx policy.DeviceContext
+	if ok {
+		ctx = st.ctx
+	}
+	s.mu.RUnlock()
+	return ctx, ok
+}
+
+// Devices returns the number of devices with known context.
+func (s *Source) Devices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.devices)
+}
+
+// state returns (creating if needed) the mutable state for addr. Callers
+// hold s.mu.
+func (s *Source) state(addr netip.Addr) *deviceState {
+	st, ok := s.devices[addr]
+	if !ok {
+		st = &deviceState{}
+		s.devices[addr] = st
+	}
+	return st
+}
+
+// bump publishes an effective context change: the caller already wrote the
+// new state under s.mu; the generation bump makes it visible to the
+// enforcer's cache key. Per-cause counters feed the invalidation metrics.
+func (s *Source) bump(c Cause) {
+	s.invalidations[c].Add(1)
+	s.gen.Add(1)
+}
+
+// SetNetwork records the device's network trust class (SSID roam,
+// cellular handoff). No-op when unchanged.
+func (s *Source) SetNetwork(addr netip.Addr, class policy.NetworkClass) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(addr)
+	if st.ctx.Network == class {
+		return
+	}
+	st.ctx.Network = class
+	s.bump(CauseNetwork)
+}
+
+// SetScreenLocked records the device's screen-lock state.
+func (s *Source) SetScreenLocked(addr netip.Addr, locked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(addr)
+	if st.ctx.ScreenLocked == locked {
+		return
+	}
+	st.ctx.ScreenLocked = locked
+	s.bump(CausePosture)
+}
+
+// SetPatchAge records the age of the device's security patch level.
+func (s *Source) SetPatchAge(addr netip.Addr, days int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(addr)
+	if st.ctx.PatchAgeDays == days {
+		return
+	}
+	st.ctx.PatchAgeDays = days
+	s.bump(CausePosture)
+}
+
+// ObserveLocation records a location fix and derives the apparent velocity
+// from the previous observation (great-circle distance over virtual time
+// elapsed). A velocity ≥ policy.ImpossibleTravelKmh is the
+// impossible-travel signal: the credential moved faster than the device
+// could have.
+func (s *Source) ObserveLocation(addr netip.Addr, lat, lon float64) {
+	var now time.Duration
+	if s.clock != nil {
+		now = s.clock.Now()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(addr)
+	v := int32(0)
+	if st.hasLoc {
+		km := haversineKm(st.lat, st.lon, lat, lon)
+		if dt := now - st.locAt; dt > 0 {
+			v = clampVelocity(km / dt.Hours())
+		} else if km > 0 {
+			v = MaxVelocityKmh // same instant, different place
+		}
+	}
+	st.hasLoc, st.lat, st.lon, st.locAt = true, lat, lon, now
+	if st.ctx.VelocityKmh == v {
+		return
+	}
+	st.ctx.VelocityKmh = v
+	s.bump(CauseTravel)
+}
+
+// Provision replaces the device's whole context (initial enrollment or an
+// MDM sync). Location history is kept; the velocity field is taken from
+// ctx verbatim.
+func (s *Source) Provision(addr netip.Addr, ctx policy.DeviceContext) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(addr)
+	if st.ctx == ctx {
+		return
+	}
+	st.ctx = ctx
+	s.bump(CauseProvision)
+}
+
+// Forget drops a device's context (un-enrollment). Counts as a provision
+// change when the device was known.
+func (s *Source) Forget(addr netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.devices[addr]; !ok {
+		return
+	}
+	delete(s.devices, addr)
+	s.bump(CauseProvision)
+}
+
+// Stats is a snapshot of the source's counters.
+type Stats struct {
+	Devices       int
+	Generation    uint64
+	Invalidations map[string]uint64
+}
+
+// Stats returns a snapshot of the source's counters.
+func (s *Source) Stats() Stats {
+	inv := make(map[string]uint64, int(causeCount))
+	for c := Cause(0); c < causeCount; c++ {
+		if n := s.invalidations[c].Load(); n > 0 {
+			inv[c.String()] = n
+		}
+	}
+	return Stats{Devices: s.Devices(), Generation: s.Generation(), Invalidations: inv}
+}
+
+// RegisterMetrics exposes the source's counters on a registry as the
+// bp_context_* device-side families — scrape-time closures over the
+// existing atomics, nothing added to any update path.
+func (s *Source) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("bp_context_devices",
+		"Devices with known context in the device-context source.",
+		func() float64 { return float64(s.Devices()) })
+	r.CounterFunc("bp_context_generation",
+		"Context generation: effective device-context changes so far.",
+		s.Generation)
+	for c := Cause(0); c < causeCount; c++ {
+		c := c
+		r.CounterFunc("bp_context_invalidations_total",
+			"Flow-cache invalidations forced by device-context changes, by cause.",
+			s.invalidations[c].Load, metrics.L("cause", c.String()))
+	}
+}
+
+// haversineKm is the great-circle distance between two coordinates.
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// clampVelocity converts to int32 km/h with the MaxVelocityKmh cap.
+func clampVelocity(kmh float64) int32 {
+	if kmh < 0 {
+		return 0
+	}
+	if kmh > MaxVelocityKmh {
+		return MaxVelocityKmh
+	}
+	return int32(kmh)
+}

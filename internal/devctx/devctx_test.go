@@ -1,0 +1,160 @@
+package devctx
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/metrics"
+	"borderpatrol/internal/policy"
+)
+
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+var dev = netip.MustParseAddr("10.0.0.5")
+
+func TestUnknownDeviceDefaultsUntrusted(t *testing.T) {
+	s := NewSource(nil)
+	ctx, ok := s.Lookup(dev)
+	if ok {
+		t.Fatal("unknown device reported as known")
+	}
+	if ctx.Network != policy.NetUnknown || ctx.ScreenLocked || ctx.VelocityKmh != 0 {
+		t.Fatalf("unknown device context = %+v, want zero (least trusted)", ctx)
+	}
+}
+
+func TestGenerationBumpsOnlyOnChange(t *testing.T) {
+	s := NewSource(nil)
+	s.SetNetwork(dev, policy.NetTrusted)
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation = %d after first change, want 1", g)
+	}
+	s.SetNetwork(dev, policy.NetTrusted) // no-op
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation = %d after no-op, want 1", g)
+	}
+	s.SetScreenLocked(dev, true)
+	s.SetPatchAge(dev, 120)
+	if g := s.Generation(); g != 3 {
+		t.Fatalf("generation = %d, want 3", g)
+	}
+	st := s.Stats()
+	if st.Invalidations["network"] != 1 || st.Invalidations["posture"] != 2 {
+		t.Fatalf("invalidations = %v", st.Invalidations)
+	}
+	ctx, ok := s.Lookup(dev)
+	if !ok || ctx.Network != policy.NetTrusted || !ctx.ScreenLocked || ctx.PatchAgeDays != 120 {
+		t.Fatalf("context = %+v ok=%v", ctx, ok)
+	}
+}
+
+func TestVelocityFromLocationObservations(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewSource(clk)
+
+	// First fix establishes position, no velocity.
+	s.ObserveLocation(dev, 52.52, 13.40) // Berlin
+	if ctx, _ := s.Lookup(dev); ctx.VelocityKmh != 0 {
+		t.Fatalf("velocity after first fix = %d", ctx.VelocityKmh)
+	}
+
+	// Berlin → Munich (~500 km) in 5 hours: ~100 km/h, plausible.
+	clk.now = 5 * time.Hour
+	s.ObserveLocation(dev, 48.14, 11.58)
+	ctx, _ := s.Lookup(dev)
+	if ctx.VelocityKmh < 80 || ctx.VelocityKmh > 130 {
+		t.Fatalf("Berlin→Munich over 5h velocity = %d km/h", ctx.VelocityKmh)
+	}
+	if ctx.VelocityKmh >= policy.ImpossibleTravelKmh {
+		t.Fatal("plausible travel flagged impossible")
+	}
+
+	// Munich → New York (~6500 km) in 1 hour: impossible.
+	clk.now = 6 * time.Hour
+	s.ObserveLocation(dev, 40.71, -74.01)
+	ctx, _ = s.Lookup(dev)
+	if ctx.VelocityKmh < policy.ImpossibleTravelKmh {
+		t.Fatalf("Munich→NYC in 1h velocity = %d km/h, want impossible", ctx.VelocityKmh)
+	}
+
+	// Same instant, different place: clamped to the cap.
+	s.ObserveLocation(dev, 35.68, 139.69)
+	ctx, _ = s.Lookup(dev)
+	if ctx.VelocityKmh != MaxVelocityKmh {
+		t.Fatalf("same-instant jump velocity = %d, want cap %d", ctx.VelocityKmh, MaxVelocityKmh)
+	}
+	if st := s.Stats(); st.Invalidations["travel"] == 0 {
+		t.Fatalf("no travel invalidations: %v", st.Invalidations)
+	}
+}
+
+func TestProvisionAndForget(t *testing.T) {
+	s := NewSource(nil)
+	want := policy.DeviceContext{Network: policy.NetCellular, PatchAgeDays: 30}
+	s.Provision(dev, want)
+	if ctx, ok := s.Lookup(dev); !ok || ctx != want {
+		t.Fatalf("provisioned context = %+v ok=%v", ctx, ok)
+	}
+	s.Provision(dev, want) // no-op
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation = %d after idempotent provision, want 1", g)
+	}
+	s.Forget(dev)
+	if _, ok := s.Lookup(dev); ok {
+		t.Fatal("device still known after Forget")
+	}
+	if s.Devices() != 0 {
+		t.Fatalf("devices = %d", s.Devices())
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	s := NewSource(nil)
+	s.SetNetwork(dev, policy.NetTrusted)
+	s.SetScreenLocked(dev, true)
+	reg := metrics.NewRegistry()
+	s.RegisterMetrics(reg)
+	found := map[string]bool{}
+	for _, sm := range reg.Snapshot() {
+		found[sm.Name] = true
+	}
+	for _, name := range []string{"bp_context_devices", "bp_context_generation", "bp_context_invalidations_total"} {
+		if !found[name] {
+			t.Fatalf("metric family %s missing (have %v)", name, found)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAndLookups(t *testing.T) {
+	// Race-detector coverage: readers on the miss path vs writers flipping
+	// context.
+	s := NewSource(&fakeClock{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Lookup(dev)
+					s.Generation()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s.SetNetwork(dev, policy.NetworkClass(i%3))
+		s.SetScreenLocked(dev, i%2 == 0)
+		s.ObserveLocation(dev, float64(i%90), float64(i%180))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/policy"
@@ -95,6 +96,42 @@ func BenchmarkProcessFlowHitParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkProcessFlowHitContextual is the cache-hit path with the
+// contextual dimension fully armed: risk rules loaded, a device-context
+// source wired, and the source holding context for the bench device. The
+// per-packet cost over BenchmarkProcessFlowHit is one extra atomic load
+// (the context generation folded into the cache key) — context itself was
+// evaluated once, at flow admission, and lives in the cached verdict.
+func BenchmarkProcessFlowHitContextual(b *testing.B) {
+	e, pkt := benchEnforcer(b, true)
+	src := devctx.NewSource(nil)
+	src.SetNetwork(pkt.Header.Src, policy.NetTrusted)
+	e.ctxSrc = src
+	rules := e.engine.Rules()
+	ctxRules, err := policy.ParsePolicyString(`
+{[risk][network]["unknown"][60]}
+{[risk][network]["trusted"][-30]}
+{[risk][time]["22:00-06:00"][35]}
+{[risk][travel]["impossible"][100]}
+{[threshold][warn][40]}
+{[threshold][block][100]}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.engine.SetRules(append(rules, ctxRules...)); err != nil {
+		b.Fatal(err)
+	}
+	e.Process(pkt) // warm the flow (SYN-time context evaluation happens here)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+			b.Fatal("benign packet dropped")
+		}
+	}
 }
 
 // BenchmarkProcessFlowMiss forces a distinct flow every iteration (the

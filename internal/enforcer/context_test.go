@@ -1,0 +1,257 @@
+package enforcer
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/devctx"
+	"borderpatrol/internal/flowtable"
+	"borderpatrol/internal/policy"
+)
+
+// testClock is a settable virtual clock for time-of-day predicates.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *testClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) set(d time.Duration) {
+	c.mu.Lock()
+	c.now = d
+	c.mu.Unlock()
+}
+
+// contextRules parses a contextual policy document for enforcer tests.
+func contextRules(t *testing.T, doc string) []policy.Rule {
+	t.Helper()
+	rules, err := policy.ParsePolicyString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+var deviceAddr = netip.MustParseAddr("10.0.0.5")
+
+func TestContextEvaluatedOncePerFlowAndCached(t *testing.T) {
+	src := devctx.NewSource(nil)
+	clk := &testClock{}
+	cfg := Config{
+		Flows:   NewFlowCache(flowtable.Config{Capacity: 1024}),
+		Context: src,
+		Clock:   clk,
+	}
+	e, db, apk := newEnforcer(t, cfg, contextRules(t, `
+{[risk][network]["unknown"][60]}
+{[threshold][warn][40]}
+{[threshold][block][100]}
+`), policy.VerdictAllow)
+
+	// Unknown device on an unknown network: warn (60 ≥ 40, < 100).
+	pkt := mkPacket(t, apk, db, "download")
+	res := e.Process(pkt)
+	if res.Verdict != policy.VerdictAllow || res.Decision == nil || !res.Decision.RiskWarn {
+		t.Fatalf("first packet: %+v", res)
+	}
+	if res.Decision.RiskScore != 60 {
+		t.Fatalf("risk score = %d", res.Decision.RiskScore)
+	}
+
+	// Second packet of the same flow: served from the cache, same decision
+	// pointer — context was evaluated exactly once.
+	res2 := e.Process(pkt)
+	if res2.Decision != res.Decision {
+		t.Fatal("cache hit rebuilt the decision (context re-evaluated)")
+	}
+	st := e.Stats()
+	if st.Flow.Hits != 1 || st.Flow.Misses != 1 {
+		t.Fatalf("flow stats = %+v", st.Flow)
+	}
+	if got := e.Engine().Stats().RiskEvaluations; got != 1 {
+		t.Fatalf("risk evaluations = %d, want 1 (once per flow)", got)
+	}
+}
+
+func TestContextFlipInvalidatesCachedVerdict(t *testing.T) {
+	src := devctx.NewSource(nil)
+	src.SetNetwork(deviceAddr, policy.NetTrusted)
+	cfg := Config{
+		Flows:   NewFlowCache(flowtable.Config{Capacity: 1024}),
+		Context: src,
+	}
+	e, db, apk := newEnforcer(t, cfg, contextRules(t, `
+{[risk][network]["unknown"][100]}
+{[risk][network]["trusted"][-50]}
+{[threshold][block][100]}
+`), policy.VerdictAllow)
+
+	pkt := mkPacket(t, apk, db, "download")
+	if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("trusted flow dropped: %+v", res)
+	}
+	if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("cached trusted flow dropped: %+v", res)
+	}
+
+	// The device roams to an unknown network: the generation bump must
+	// invalidate the cached allow on the very next packet.
+	src.SetNetwork(deviceAddr, policy.NetUnknown)
+	res := e.Process(pkt)
+	if res.Verdict != policy.VerdictDrop || res.Cause != DropRisk {
+		t.Fatalf("post-flip packet: %+v", res)
+	}
+	if !res.Decision.RiskBlocked || res.Decision.RiskScore != 100 {
+		t.Fatalf("post-flip decision: %+v", res.Decision)
+	}
+	if st := e.Stats(); st.Flow.StaleDrops == 0 {
+		t.Fatalf("no stale drops after context flip: %+v", st.Flow)
+	}
+	if st := e.Stats(); st.DroppedByCause[DropRisk] != 1 {
+		t.Fatalf("drop causes = %+v", st.DroppedByCause)
+	}
+
+	// Roaming back re-admits the flow.
+	src.SetNetwork(deviceAddr, policy.NetTrusted)
+	if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("re-trusted flow dropped: %+v", res)
+	}
+}
+
+func TestTimeWindowViaVirtualClock(t *testing.T) {
+	src := devctx.NewSource(nil)
+	src.SetNetwork(deviceAddr, policy.NetTrusted)
+	clk := &testClock{}
+	cfg := Config{
+		Flows:   NewFlowCache(flowtable.Config{Capacity: 1024}),
+		Context: src,
+		Clock:   clk,
+	}
+	e, db, apk := newEnforcer(t, cfg, contextRules(t, `
+{[risk][time]["22:00-06:00"][100]}
+{[threshold][block][100]}
+`), policy.VerdictAllow)
+
+	pkt := mkPacket(t, apk, db, "download")
+	clk.set(14 * time.Hour) // Monday 14:00
+	if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("afternoon flow dropped: %+v", res)
+	}
+	// 23:00 the same virtual day. The clock is not part of the generation,
+	// so the cached afternoon verdict is still served — end the flow to
+	// force re-evaluation (the documented SYN-time model: a flow keeps the
+	// context it was admitted under).
+	clk.set(23 * time.Hour)
+	e.EndFlow(pkt)
+	if res := e.Process(pkt); res.Verdict != policy.VerdictDrop || res.Cause != DropRisk {
+		t.Fatalf("night flow admitted: %+v", res)
+	}
+}
+
+// TestRacedContextFlipNoStaleVerdicts is the acceptance-criterion race
+// test: workers hammer Process on one flow while the device's network
+// trust class flips underneath them. The generation-ordering contract
+// (state published before the generation bump) means any evaluation that
+// observed the post-flip generation must reflect the post-flip context —
+// so, per worker, once a drop is observed no later packet may be allowed
+// (an allow after a drop would be a stale-context verdict served under the
+// new generation). Run under -race this also pins the Source's
+// synchronization.
+func TestRacedContextFlipNoStaleVerdicts(t *testing.T) {
+	src := devctx.NewSource(nil)
+	src.SetNetwork(deviceAddr, policy.NetTrusted)
+	cfg := Config{
+		Flows:   NewFlowCache(flowtable.Config{Capacity: 1024}),
+		Context: src,
+	}
+	e, db, apk := newEnforcer(t, cfg, contextRules(t, `
+{[risk][network]["unknown"][100]}
+{[threshold][block][100]}
+`), policy.VerdictAllow)
+	pkt := mkPacket(t, apk, db, "download")
+
+	if res := e.Process(pkt); res.Verdict != policy.VerdictAllow {
+		t.Fatalf("pre-flip flow dropped: %+v", res)
+	}
+
+	const workers = 4
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		violations [workers]int
+		drops      [workers]int
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dropped := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := e.Process(pkt)
+				switch res.Verdict {
+				case policy.VerdictDrop:
+					dropped = true
+					drops[w]++
+				case policy.VerdictAllow:
+					if dropped {
+						violations[w]++ // stale allow after a new-gen drop
+					}
+				}
+			}
+		}()
+	}
+
+	// Let the workers soak the cache-hit path, then flip.
+	time.Sleep(5 * time.Millisecond)
+	src.SetNetwork(deviceAddr, policy.NetUnknown)
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	totalDrops := 0
+	for w := 0; w < workers; w++ {
+		if violations[w] != 0 {
+			t.Fatalf("worker %d saw %d stale allows after observing the flip", w, violations[w])
+		}
+		totalDrops += drops[w]
+	}
+	if totalDrops == 0 {
+		t.Fatal("no worker ever observed the flipped context")
+	}
+	// And the settled state must drop.
+	if res := e.Process(pkt); res.Verdict != policy.VerdictDrop || res.Cause != DropRisk {
+		t.Fatalf("settled post-flip verdict: %+v", res)
+	}
+}
+
+func TestContextInactiveWithoutRiskRules(t *testing.T) {
+	// A wired source with a call-stack-only policy must not score flows.
+	src := devctx.NewSource(nil)
+	cfg := Config{
+		Flows:   NewFlowCache(flowtable.Config{Capacity: 1024}),
+		Context: src,
+	}
+	e, db, apk := newEnforcer(t, cfg,
+		[]policy.Rule{{Action: policy.Deny, Level: policy.LevelLibrary, Target: "com/flurry"}},
+		policy.VerdictAllow)
+	res := e.Process(mkPacket(t, apk, db, "download"))
+	if res.Verdict != policy.VerdictAllow || (res.Decision != nil && res.Decision.RiskApplied) {
+		t.Fatalf("risk applied without risk rules: %+v", res)
+	}
+	if got := e.Engine().Stats().RiskEvaluations; got != 0 {
+		t.Fatalf("risk evaluations = %d", got)
+	}
+}

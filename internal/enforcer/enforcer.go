@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"borderpatrol/internal/analyzer"
+	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/ipv4"
@@ -76,6 +77,17 @@ type Config struct {
 	// Audit receives every decision (nil disables auditing). Process
 	// records per packet; ProcessBatch records once per burst.
 	Audit AuditSink
+	// Context supplies per-device context for the policy's risk program
+	// (nil disables the contextual dimension). It is consulted only on the
+	// SYN/cache-miss path — and only when the loaded rule set actually
+	// carries risk rules — so the per-packet cache-hit path never touches
+	// it. Its generation is folded into the flow-cache generation, so a
+	// device-context change invalidates cached verdicts the same way a
+	// policy swap does.
+	Context *devctx.Source
+	// Clock supplies virtual time for the risk program's time-of-day and
+	// weekday predicates (nil pins them to Monday 00:00).
+	Clock devctx.Clock
 }
 
 // DropCause classifies why the enforcer dropped a packet.
@@ -95,6 +107,9 @@ const (
 	DropBadIndex
 	// DropPolicy is a packet denied by a policy rule (or default).
 	DropPolicy
+	// DropRisk is a flow denied by its contextual risk score reaching the
+	// block threshold (access rules would have admitted it).
+	DropRisk
 
 	// dropCauseCount sizes per-cause counters; keep it last so new causes
 	// automatically grow the counter array.
@@ -116,6 +131,8 @@ func (c DropCause) String() string {
 		return "bad-index"
 	case DropPolicy:
 		return "policy"
+	case DropRisk:
+		return "risk"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -192,6 +209,9 @@ type instruments struct {
 	// burst size, so ns/packet is derivable per quantile band.
 	batchLatency *metrics.Histogram
 	batchPackets *metrics.Histogram
+	// riskScore is the per-flow contextual risk score, recorded once per
+	// SYN-time evaluation (negative scores clamp to the zero bucket).
+	riskScore *metrics.Histogram
 }
 
 func newInstruments() instruments {
@@ -201,6 +221,7 @@ func newInstruments() instruments {
 		evalLatency:  metrics.NewHistogram(),
 		batchLatency: metrics.NewHistogram(),
 		batchPackets: metrics.NewHistogram(),
+		riskScore:    metrics.NewHistogram(),
 	}
 }
 
@@ -215,6 +236,8 @@ type Enforcer struct {
 	engine *policy.Engine
 	flows  *FlowCache
 	audit  AuditSink
+	ctxSrc *devctx.Source
+	clock  devctx.Clock
 
 	scratches sync.Pool // *scratch, reused across packets
 
@@ -236,6 +259,8 @@ func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
 		engine:        engine,
 		flows:         cfg.Flows,
 		audit:         cfg.Audit,
+		ctxSrc:        cfg.Context,
+		clock:         cfg.Clock,
 		scratches:     sync.Pool{New: func() any { return new(scratch) }},
 		accepted:      metrics.NewCounter(),
 		dropped:       metrics.NewCounter(),
@@ -254,14 +279,36 @@ func (e *Enforcer) Engine() *policy.Engine { return e.engine }
 // FlowCacheEnabled reports whether per-flow verdict caching is active.
 func (e *Enforcer) FlowCacheEnabled() bool { return e.flows != nil }
 
-// generation combines the policy engine's and the signature database's
-// mutation counters into the cache generation: a change to either
-// invalidates every cached verdict. The engine generation is the one that
-// moves under central reconfiguration; 2³² rule replacements without a
-// single database change would be needed to alias, which cannot happen in
-// a deployment's lifetime.
+// generation combines the policy engine's, the signature database's and —
+// when configured — the device-context source's mutation counters into the
+// cache generation: a change to any of the three invalidates every cached
+// verdict. The layout is db<<42 | context<<21 | engine; aliasing would
+// need 2²¹ (~2M) engine swaps or context changes without the other
+// counters moving AND a colliding wrap of the lost high bits, which cannot
+// happen in a deployment's lifetime. Reading the context generation is one
+// extra atomic load on the per-packet path (~1 ns).
 func (e *Enforcer) generation() uint64 {
-	return e.db.Generation()<<32 | e.engine.Generation()&0xffffffff
+	g := e.db.Generation()<<42 | (e.engine.Generation()&0x1fffff)<<21
+	if e.ctxSrc != nil {
+		g |= e.ctxSrc.Generation() & 0x1fffff
+	}
+	return g
+}
+
+// flowContext fills fc with the packet's SYN-time context — the source
+// device's context snapshot plus the virtual wall-clock position — and
+// returns it, or returns nil when the contextual dimension is inactive
+// (no source configured, or no risk rules loaded). Runs only on the
+// cache-miss path.
+func (e *Enforcer) flowContext(pkt *ipv4.Packet, fc *policy.FlowContext) *policy.FlowContext {
+	if e.ctxSrc == nil || !e.engine.ContextActive() {
+		return nil
+	}
+	fc.Device, _ = e.ctxSrc.Lookup(pkt.Header.Src)
+	if e.clock != nil {
+		fc.MinuteOfDay, fc.Weekday = policy.TimeOfVirtual(e.clock.Now())
+	}
+	return fc
 }
 
 // flowKey fills the cache key for a tagged packet without decoding the
@@ -321,7 +368,7 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 		return e.untagged()
 	}
 	if e.flows == nil {
-		return e.timedEvaluate(opt.Data)
+		return e.timedEvaluate(pkt, opt.Data)
 	}
 	// Fast path: probe the flow table on the raw tag bytes. The generation
 	// is read before the probe (and before any evaluation) so that a
@@ -330,7 +377,7 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 	gen := e.generation()
 	var key flowtable.Key
 	if !flowKey(&key, pkt, opt.Data) {
-		return e.timedEvaluate(opt.Data)
+		return e.timedEvaluate(pkt, opt.Data)
 	}
 	// The sampling decision precedes the probe so the timed subset is an
 	// unbiased slice of lookups; untimed packets pay one fastrand draw.
@@ -345,19 +392,19 @@ func (e *Enforcer) process(pkt *ipv4.Packet) Result {
 		}
 		return res
 	}
-	res := e.timedEvaluate(opt.Data)
+	res := e.timedEvaluate(pkt, opt.Data)
 	e.flows.Insert(key, gen, res)
 	return res
 }
 
 // timedEvaluate runs the full miss pipeline, recording its latency for a
 // sampled subset of calls.
-func (e *Enforcer) timedEvaluate(data []byte) Result {
+func (e *Enforcer) timedEvaluate(pkt *ipv4.Packet, data []byte) Result {
 	if rand.Uint32()&missSampleMask != 0 {
-		return e.evaluateTag(data)
+		return e.evaluateTag(pkt, data)
 	}
 	start := time.Now()
-	res := e.evaluateTag(data)
+	res := e.evaluateTag(pkt, data)
 	e.ins.missLatency.Record(time.Since(start).Nanoseconds())
 	return res
 }
@@ -370,10 +417,13 @@ func (e *Enforcer) untagged() Result {
 }
 
 // evaluateTag is the full miss path: decode the tag, decode the stack,
-// evaluate policy. Scratch buffers are pooled; only the Stack and Decision
-// that escape into the Result are freshly allocated (once per flow when
-// caching is on).
-func (e *Enforcer) evaluateTag(data []byte) Result {
+// evaluate policy — including, when configured, the contextual risk
+// program over the source device's context (the paper's "evaluate once at
+// SYN time" point: whatever this returns is what the flow cache serves for
+// the rest of the flow). Scratch buffers are pooled; only the Stack and
+// Decision that escape into the Result are freshly allocated (once per
+// flow when caching is on).
+func (e *Enforcer) evaluateTag(pkt *ipv4.Packet, data []byte) Result {
 	sc := e.scratches.Get().(*scratch)
 	defer e.scratches.Put(sc)
 
@@ -397,14 +447,21 @@ func (e *Enforcer) evaluateTag(data []byte) Result {
 	}
 	sc.stack = stack // retain grown capacity for the next packet
 
-	// Stage 3: enforcement (latency sampled; see instruments).
+	// Stage 3: enforcement (latency sampled; see instruments). The flow
+	// context — device posture, network class, velocity, virtual clock —
+	// is built here, once per flow, and folded into the cached decision.
+	var fcBuf policy.FlowContext
+	fc := e.flowContext(pkt, &fcBuf)
 	var decision policy.Decision
 	if rand.Uint32()&evalSampleMask == 0 {
 		evalStart := time.Now()
-		decision = e.engine.Evaluate(sc.tag.AppHash, stack)
+		decision = e.engine.EvaluateFlow(sc.tag.AppHash, stack, fc)
 		e.ins.evalLatency.Record(time.Since(evalStart).Nanoseconds())
 	} else {
-		decision = e.engine.Evaluate(sc.tag.AppHash, stack)
+		decision = e.engine.EvaluateFlow(sc.tag.AppHash, stack, fc)
+	}
+	if decision.RiskApplied {
+		e.ins.riskScore.Record(int64(decision.RiskScore))
 	}
 	res := Result{
 		Verdict: decision.Verdict,
@@ -415,7 +472,11 @@ func (e *Enforcer) evaluateTag(data []byte) Result {
 		Decision: &decision,
 	}
 	if decision.Verdict == policy.VerdictDrop {
-		res.Cause = DropPolicy
+		if decision.RiskBlocked {
+			res.Cause = DropRisk
+		} else {
+			res.Cause = DropPolicy
+		}
 	}
 	return res
 }
@@ -452,14 +513,14 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 		case !tagged:
 			res = e.untagged()
 		case e.flows == nil:
-			res = e.timedEvaluate(opt.Data)
+			res = e.timedEvaluate(pkt, opt.Data)
 		default:
 			gen := e.generation()
 			var key flowtable.Key
 			cacheable := flowKey(&key, pkt, opt.Data)
 			switch {
 			case !cacheable:
-				res = e.timedEvaluate(opt.Data)
+				res = e.timedEvaluate(pkt, opt.Data)
 			case memoValid && key == memoKey && gen == memoGen:
 				res = memoRes
 				e.batchMemoHits.Inc()
@@ -467,7 +528,7 @@ func (e *Enforcer) ProcessBatch(pkts []*ipv4.Packet, out []Result) []Result {
 				if cached, ok := e.flows.Lookup(key, gen); ok {
 					res = cached
 				} else {
-					res = e.timedEvaluate(opt.Data)
+					res = e.timedEvaluate(pkt, opt.Data)
 					e.flows.Insert(key, gen, res)
 				}
 				memoKey, memoGen, memoRes, memoValid = key, gen, res, true
@@ -606,4 +667,22 @@ func (e *Enforcer) RegisterMetrics(r *metrics.Registry) {
 		func() uint64 { return eng.Stats().DefaultHits })
 	r.CounterFunc("bp_policy_degraded_hits_total", "Packets decided by a degraded-posture override.",
 		func() uint64 { return eng.Stats().DegradedHits })
+
+	// Contextual-risk families: SYN-time evaluations, their outcomes, the
+	// score distribution, and (when a source is wired) the device-side
+	// generation and per-cause invalidation counters.
+	r.CounterFunc("bp_context_evaluations_total",
+		"Flows scored by the contextual risk program (once per flow, at SYN time).",
+		func() uint64 { return eng.Stats().RiskEvaluations })
+	r.CounterFunc("bp_context_warns_total",
+		"Risk evaluations that reached the warn threshold (admitted, flagged).",
+		func() uint64 { return eng.Stats().RiskWarns })
+	r.CounterFunc("bp_context_blocks_total",
+		"Risk evaluations that reached the block threshold (flow dropped).",
+		func() uint64 { return eng.Stats().RiskBlocks })
+	r.RegisterHistogram("bp_context_risk_score",
+		"Per-flow contextual risk score at SYN-time evaluation.", e.ins.riskScore)
+	if e.ctxSrc != nil {
+		e.ctxSrc.RegisterMetrics(r)
+	}
 }

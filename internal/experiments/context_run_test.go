@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunContextSmoke runs the contextual-policy experiment at a reduced
+// scale and asserts every invariant Check covers, plus the JSON export.
+func TestRunContextSmoke(t *testing.T) {
+	res, err := RunContext(ContextRunConfig{Devices: 16, HitIterations: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 devices round-robin over 4 scenarios: 4 each.
+	for _, s := range res.Scenarios {
+		if s.Devices != 4 {
+			t.Fatalf("scenario %s ran %d devices, want 4", s.Name, s.Devices)
+		}
+	}
+	// Exactly the trusted devices minus the hot one were flipped.
+	if res.FlippedDevices != 3 {
+		t.Fatalf("flipped %d devices, want 3", res.FlippedDevices)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty Format")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_context.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ContextBenchResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StaleAllows != 0 || back.FlippedDevices != res.FlippedDevices {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+}

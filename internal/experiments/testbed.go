@@ -17,6 +17,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/audit"
 	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/flowtable"
 	"borderpatrol/internal/httpsim"
@@ -38,6 +39,10 @@ type Testbed struct {
 	Engine   *policy.Engine
 	Enforcer *enforcer.Enforcer
 	Network  *netsim.Network
+	// Context is the gateway's device-context source (always built, wired
+	// into the enforcer when enforcement is on). The provisioned device
+	// reports into it; device pools can bind to it too.
+	Context *devctx.Source
 	// Audit is the gateway's asynchronous enforcement audit trail (only
 	// wired when enforcement is on).
 	Audit *audit.Log
@@ -188,9 +193,16 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		Workers:   cfg.GatewayWorkers,
 		Clock:     tb.Network.Clock,
 	}
+	tb.Context = devctx.NewSource(tb.Network.Clock)
+	device.BindContext(tb.Context)
 	if cfg.EnforcementOn {
 		tb.Audit = audit.New(cfg.AuditWriter, 256)
-		enfCfg := enforcer.Config{AllowUntagged: cfg.AllowUntagged, Audit: tb.Audit}
+		enfCfg := enforcer.Config{
+			AllowUntagged: cfg.AllowUntagged,
+			Audit:         tb.Audit,
+			Context:       tb.Context,
+			Clock:         tb.Network.Clock,
+		}
 		if !cfg.DisableFlowCache {
 			enfCfg.Flows = enforcer.NewFlowCache(flowtable.Config{
 				Clock: tb.Network.Clock,

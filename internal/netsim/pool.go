@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/netip"
 
+	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/ipv4"
+	"borderpatrol/internal/policy"
 )
 
 // DevicePool amortizes the android device model across a fleet-sized
@@ -25,6 +27,7 @@ type DevicePool struct {
 	prefix netip.Prefix
 	base   uint32 // first virtual device address, host byte order
 	n      int
+	ctx    *devctx.Source
 }
 
 // poolHostOffset skips the subnet address and the conventional .1 (the
@@ -71,6 +74,34 @@ func (p *DevicePool) Addr(i int) netip.Addr {
 	var a4 [4]byte
 	binary.BigEndian.PutUint32(a4[:], p.base+uint32(i))
 	return netip.AddrFrom4(a4)
+}
+
+// BindContext connects the pool to a gateway-side device-context source:
+// SetContext/SetNetwork/ObserveLocation then provision the virtual devices
+// the same way a fleet of real agents would. A nil source unbinds.
+func (p *DevicePool) BindContext(src *devctx.Source) { p.ctx = src }
+
+// SetContext provisions virtual device i's whole context (enrollment or an
+// MDM sync). No-op while unbound.
+func (p *DevicePool) SetContext(i int, ctx policy.DeviceContext) {
+	if p.ctx != nil {
+		p.ctx.Provision(p.Addr(i), ctx)
+	}
+}
+
+// SetNetwork records virtual device i's network trust class.
+func (p *DevicePool) SetNetwork(i int, class policy.NetworkClass) {
+	if p.ctx != nil {
+		p.ctx.SetNetwork(p.Addr(i), class)
+	}
+}
+
+// ObserveLocation records a location fix for virtual device i; the source
+// derives apparent travel velocity from successive fixes.
+func (p *DevicePool) ObserveLocation(i int, lat, lon float64) {
+	if p.ctx != nil {
+		p.ctx.ObserveLocation(p.Addr(i), lat, lon)
+	}
 }
 
 // Rewrite clones a template device's egress burst for virtual device i:

@@ -96,10 +96,11 @@ type JavaSocket struct {
 	local     netip.AddrPort
 	// OwnerUID is the Android uid of the app that owns the socket.
 	OwnerUID int
-	// Ctx carries opaque per-socket context attached by hooks (the Context
-	// Manager stores the captured stack trace here so tests can assert
-	// against it).
-	Ctx any
+	// ctx carries opaque per-socket context attached by hooks (the Context
+	// Manager stores the captured stack trace here so tests and the
+	// extractor can read it back). Guarded by mu: hooks run on whatever
+	// goroutine called Connect, readers can be anywhere.
+	ctx any
 }
 
 // NewJavaSocket mirrors `new java.net.Socket()`: no OS socket yet.
@@ -111,6 +112,22 @@ func (st *Stack) NewJavaSocket(ownerUID int) *JavaSocket {
 // usage: a UDP socket with the same lazy creation and hook semantics.
 func (st *Stack) NewDatagramSocket(ownerUID int) *JavaSocket {
 	return &JavaSocket{stack: st, fd: -1, proto: ipv4.ProtoUDP, OwnerUID: ownerUID}
+}
+
+// SetContext attaches opaque per-socket context. The publication is
+// synchronized on the socket's own mutex, so a hook writing from the
+// connect path never races a reader on another goroutine.
+func (s *JavaSocket) SetContext(v any) {
+	s.mu.Lock()
+	s.ctx = v
+	s.mu.Unlock()
+}
+
+// Context returns the context attached by SetContext (nil before any).
+func (s *JavaSocket) Context() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctx
 }
 
 // FD returns the OS file descriptor, or -1 before the lazy socket call.

@@ -55,7 +55,7 @@ func TestConnectHookFiresAfterConnection(t *testing.T) {
 	st.RegisterConnectHook(func(sock *JavaSocket) {
 		hookedFD = sock.FD()
 		wasConnected = sock.Connected()
-		sock.Ctx = "context-attached"
+		sock.SetContext("context-attached")
 	})
 	s := st.NewJavaSocket(10001)
 	if err := s.Connect(remoteAP()); err != nil {
@@ -65,7 +65,7 @@ func TestConnectHookFiresAfterConnection(t *testing.T) {
 	if hookedFD != s.FD() || !wasConnected {
 		t.Fatalf("hook saw fd=%d connected=%v", hookedFD, wasConnected)
 	}
-	if s.Ctx != "context-attached" {
+	if s.Context() != "context-attached" {
 		t.Fatal("hook context lost")
 	}
 }

@@ -123,7 +123,13 @@ type compiledRules struct {
 	// allows are the non-hash allow rules in original order.
 	allows []allowMatcher
 
-	// hits[i] counts packets decided by rule i.
+	// ctx is the compiled contextual program (risk predicates plus
+	// effective thresholds), nil when the document has no risk rules —
+	// call-stack-only policies pay nothing for the contextual dimension.
+	ctx *contextProgram
+
+	// hits[i] counts packets decided by rule i; for risk rules it counts
+	// flows the predicate matched (contributed weight to).
 	hits []atomic.Uint64
 }
 
@@ -148,10 +154,33 @@ func compileRules(rules []Rule) (*compiledRules, error) {
 		methodMerged: make(map[methodKey]int),
 		hits:         make([]atomic.Uint64, len(rules)),
 	}
+	var preds []compiledPredicate
+	warnAt, blockAt := DefaultWarnRisk, DefaultBlockRisk
 	for i := range c.rules {
 		r := &c.rules[i]
 		if err := r.Validate(); err != nil {
 			return nil, fmt.Errorf("policy: rule %d: %w", i, err)
+		}
+		switch r.Kind {
+		case KindRisk:
+			p, err := compilePredicate(r.Pred, r.Target)
+			if err != nil {
+				// Validate accepted the spec, so this cannot happen.
+				return nil, fmt.Errorf("policy: rule %d: %w", i, err)
+			}
+			p.weight, p.idx = r.Weight, i
+			c.reasons[i] = fmt.Sprintf("risk rule %s matched", r)
+			preds = append(preds, p)
+			continue
+		case KindThreshold:
+			// The last explicit threshold rule of each kind wins.
+			if r.Thresh == ThresholdWarn {
+				warnAt = r.Weight
+			} else {
+				blockAt = r.Weight
+			}
+			c.reasons[i] = fmt.Sprintf("threshold rule %s", r)
+			continue
 		}
 		switch r.Action {
 		case Deny:
@@ -212,6 +241,9 @@ func compileRules(rules []Rule) (*compiledRules, error) {
 			}
 			keepMin(c.methodMerged, methodKey{sig.Package, sig.Class, sig.Name}, i)
 		}
+	}
+	if len(preds) > 0 {
+		c.ctx = &contextProgram{preds: preds, warnAt: warnAt, blockAt: blockAt}
 	}
 	return c, nil
 }

@@ -1,0 +1,313 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"borderpatrol/internal/dex"
+)
+
+// contextDoc is a representative contextual policy: call-stack access
+// rules plus risk predicates and explicit thresholds.
+const contextDoc = `
+// access rules
+{[deny][library]["com/flurry"]}
+
+// contextual risk
+{[risk][network]["unknown"][60]}
+{[risk][network]["trusted"][-30]}
+{[risk][time]["22:00-06:00"][35]}
+{[risk][time]["weekend"][20]}
+{[risk][posture]["screen-locked"][15]}
+{[risk][posture]["patch-age>90"][40]}
+{[risk][travel]["impossible"][100]}
+{[threshold][warn][40]}
+{[threshold][block][100]}
+`
+
+func mustEngine(t *testing.T, doc string) *Engine {
+	t.Helper()
+	rules, err := ParsePolicyString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(rules, VerdictAllow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestContextualRoundTrip(t *testing.T) {
+	rules, err := ParsePolicyString(contextDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 10 {
+		t.Fatalf("parsed %d rules, want 10", len(rules))
+	}
+	formatted := FormatPolicy(rules)
+	again, err := ParsePolicyString(formatted)
+	if err != nil {
+		t.Fatalf("formatted contextual policy unparsable: %v\n%s", err, formatted)
+	}
+	if !rulesEqual(rules, again) {
+		t.Fatalf("round trip changed rules:\n%+v\n%+v", rules, again)
+	}
+	if f2 := FormatPolicy(again); f2 != formatted {
+		t.Fatalf("FormatPolicy not a fixpoint:\n%q\n%q", formatted, f2)
+	}
+}
+
+func TestContextualRuleRejects(t *testing.T) {
+	bad := []string{
+		`{[risk][time]["25:00-26:00"][10]}`,
+		`{[risk][time]["9:00-17:00"][10]}`, // single-digit hour
+		`{[risk][time][""][10]}`,
+		`{[risk][time]["weekend weekend"][10]}`,
+		`{[risk][network]["wired"][10]}`,
+		`{[risk][posture]["rooted"][10]}`,
+		`{[risk][posture]["patch-age>-1"][10]}`,
+		`{[risk][travel]["fast"][10]}`,
+		`{[risk][travel][">-5"][10]}`,
+		`{[risk][network]["trusted"][1001]}`,
+		`{[risk][network]["trusted"][-1001]}`,
+		`{[risk][network]["trusted"][x]}`,
+		`{[risk][network]["trusted"]}`,
+		`{[threshold][maybe][10]}`,
+		`{[threshold][warn][0]}`,
+		`{[threshold][block][-5]}`,
+		`{[threshold][block][10][extra]}`,
+	}
+	for _, raw := range bad {
+		if r, err := ParseRule(raw); err == nil {
+			t.Errorf("ParseRule(%q) accepted as %+v, want error", raw, r)
+		}
+	}
+}
+
+func TestTimeOfVirtual(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		minute uint16
+		day    uint8
+	}{
+		{0, 0, 0},                                   // Monday 00:00
+		{9 * time.Hour, 9 * 60, 0},                  // Monday 09:00
+		{24 * time.Hour, 0, 1},                      // Tuesday 00:00
+		{5*24*time.Hour + 13*time.Hour, 13 * 60, 5}, // Saturday 13:00
+		{7 * 24 * time.Hour, 0, 0},                  // next Monday
+	}
+	for _, c := range cases {
+		m, w := TimeOfVirtual(c.d)
+		if m != c.minute || w != c.day {
+			t.Errorf("TimeOfVirtual(%v) = (%d, %d), want (%d, %d)", c.d, m, w, c.minute, c.day)
+		}
+	}
+}
+
+func TestPredicateMatching(t *testing.T) {
+	cases := []struct {
+		pred  Predicate
+		spec  string
+		fc    FlowContext
+		match bool
+	}{
+		// Time windows, including the midnight wrap.
+		{PredTime, "09:00-17:00", FlowContext{MinuteOfDay: 10 * 60}, true},
+		{PredTime, "09:00-17:00", FlowContext{MinuteOfDay: 17 * 60}, false}, // [start,end)
+		{PredTime, "09:00-17:00", FlowContext{MinuteOfDay: 8 * 60}, false},
+		{PredTime, "22:00-06:00", FlowContext{MinuteOfDay: 23 * 60}, true},
+		{PredTime, "22:00-06:00", FlowContext{MinuteOfDay: 3 * 60}, true},
+		{PredTime, "22:00-06:00", FlowContext{MinuteOfDay: 12 * 60}, false},
+		{PredTime, "weekend", FlowContext{Weekday: 5}, true},
+		{PredTime, "weekend", FlowContext{Weekday: 4}, false},
+		{PredTime, "weekday", FlowContext{Weekday: 4}, true},
+		{PredTime, "weekday", FlowContext{Weekday: 6}, false},
+		{PredTime, "weekend 22:00-06:00", FlowContext{Weekday: 5, MinuteOfDay: 23 * 60}, true},
+		{PredTime, "weekend 22:00-06:00", FlowContext{Weekday: 2, MinuteOfDay: 23 * 60}, false},
+		{PredTime, "weekend 22:00-06:00", FlowContext{Weekday: 5, MinuteOfDay: 12 * 60}, false},
+		// Network trust class.
+		{PredNetwork, "trusted", FlowContext{Device: DeviceContext{Network: NetTrusted}}, true},
+		{PredNetwork, "trusted", FlowContext{Device: DeviceContext{Network: NetCellular}}, false},
+		{PredNetwork, "unknown", FlowContext{}, true}, // zero value is unknown
+		// Posture.
+		{PredPosture, "screen-locked", FlowContext{Device: DeviceContext{ScreenLocked: true}}, true},
+		{PredPosture, "screen-locked", FlowContext{}, false},
+		{PredPosture, "screen-unlocked", FlowContext{}, true},
+		{PredPosture, "patch-age>90", FlowContext{Device: DeviceContext{PatchAgeDays: 91}}, true},
+		{PredPosture, "patch-age>90", FlowContext{Device: DeviceContext{PatchAgeDays: 90}}, false},
+		// Travel.
+		{PredTravel, "impossible", FlowContext{Device: DeviceContext{VelocityKmh: 901}}, true},
+		{PredTravel, "impossible", FlowContext{Device: DeviceContext{VelocityKmh: 900}}, false},
+		{PredTravel, ">300", FlowContext{Device: DeviceContext{VelocityKmh: 301}}, true},
+		{PredTravel, ">300", FlowContext{Device: DeviceContext{VelocityKmh: 250}}, false},
+	}
+	for _, c := range cases {
+		p, err := compilePredicate(c.pred, c.spec)
+		if err != nil {
+			t.Fatalf("compilePredicate(%v, %q): %v", c.pred, c.spec, err)
+		}
+		fc := c.fc
+		if got := p.matches(&fc); got != c.match {
+			t.Errorf("%v %q vs %+v = %v, want %v", c.pred, c.spec, c.fc, got, c.match)
+		}
+	}
+}
+
+func TestRiskScoringThresholds(t *testing.T) {
+	e := mustEngine(t, contextDoc)
+	if !e.ContextActive() {
+		t.Fatal("ContextActive() = false with risk rules loaded")
+	}
+	if warn, block := e.Thresholds(); warn != 40 || block != 100 {
+		t.Fatalf("Thresholds() = (%d, %d), want (40, 100)", warn, block)
+	}
+	var h dex.TruncatedHash
+	stack := []dex.Signature{{Package: "com/corp", Class: "Main", Name: "run", Proto: "()V"}}
+
+	// Trusted network on a weekday afternoon: negative weight, clean allow.
+	trusted := &FlowContext{Device: DeviceContext{Network: NetTrusted}, MinuteOfDay: 14 * 60, Weekday: 2}
+	d := e.EvaluateFlow(h, stack, trusted)
+	if d.Verdict != VerdictAllow || d.RiskWarn || !d.RiskApplied || d.RiskScore != -30 {
+		t.Fatalf("trusted: %+v", d)
+	}
+
+	// Unknown network alone (60) reaches warn (40) but not block (100).
+	unknown := &FlowContext{MinuteOfDay: 14 * 60, Weekday: 2}
+	d = e.EvaluateFlow(h, stack, unknown)
+	if d.Verdict != VerdictAllow || !d.RiskWarn || d.RiskScore != 60 {
+		t.Fatalf("unknown: %+v", d)
+	}
+
+	// Unknown network + night window + locked screen = 60+35+15 = 110 ≥ 100.
+	risky := &FlowContext{
+		Device:      DeviceContext{ScreenLocked: true},
+		MinuteOfDay: 23 * 60,
+		Weekday:     2,
+	}
+	d = e.EvaluateFlow(h, stack, risky)
+	if d.Verdict != VerdictDrop || !d.RiskBlocked || d.RiskScore != 110 {
+		t.Fatalf("risky: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "risk score 110") {
+		t.Fatalf("block reason %q does not cite the score", d.Reason)
+	}
+
+	// Impossible travel alone blocks even on a trusted network at noon:
+	// 100 - 30 = 70 < 100... so add the weekend weight: 100-30+20 = 90 < 100,
+	// still short — use unknown network: 100+60 = 160.
+	traveling := &FlowContext{Device: DeviceContext{VelocityKmh: 1200}, MinuteOfDay: 12 * 60, Weekday: 2}
+	d = e.EvaluateFlow(h, stack, traveling)
+	if d.Verdict != VerdictDrop || !d.RiskBlocked || d.RiskScore != 160 {
+		t.Fatalf("traveling: %+v", d)
+	}
+
+	st := e.Stats()
+	if st.RiskEvaluations != 4 || st.RiskWarns != 1 || st.RiskBlocks != 2 {
+		t.Fatalf("risk stats = %+v", st)
+	}
+}
+
+func TestRiskOnlyTightensAllows(t *testing.T) {
+	// An access deny never consults the risk program, and a nil context
+	// (call-stack-only caller) never applies risk.
+	e := mustEngine(t, contextDoc)
+	var h dex.TruncatedHash
+	ad := []dex.Signature{{Package: "com/flurry/sdk", Class: "Agent", Name: "beacon", Proto: "()V"}}
+	risky := &FlowContext{Device: DeviceContext{VelocityKmh: 9000}}
+	d := e.EvaluateFlow(h, ad, risky)
+	if d.Verdict != VerdictDrop || d.RiskApplied || d.Rule == nil {
+		t.Fatalf("access deny should decide before risk: %+v", d)
+	}
+	clean := []dex.Signature{{Package: "com/corp", Class: "Main", Name: "run", Proto: "()V"}}
+	d = e.EvaluateFlow(h, clean, nil)
+	if d.Verdict != VerdictAllow || d.RiskApplied {
+		t.Fatalf("nil context must skip risk: %+v", d)
+	}
+	if st := e.Stats(); st.RiskEvaluations != 0 {
+		t.Fatalf("RiskEvaluations = %d, want 0 (deny and nil-context paths skip risk)", st.RiskEvaluations)
+	}
+}
+
+func TestThresholdDefaultsAndLastWins(t *testing.T) {
+	// No explicit thresholds: defaults apply.
+	e := mustEngine(t, `{[risk][network]["unknown"][60]}`)
+	if warn, block := e.Thresholds(); warn != DefaultWarnRisk || block != DefaultBlockRisk {
+		t.Fatalf("default thresholds = (%d, %d)", warn, block)
+	}
+	var h dex.TruncatedHash
+	stack := []dex.Signature{{Package: "com/corp", Class: "Main", Name: "run", Proto: "()V"}}
+	d := e.EvaluateFlow(h, stack, &FlowContext{})
+	if d.Verdict != VerdictAllow || !d.RiskWarn { // 60 ≥ 50 default warn
+		t.Fatalf("default warn: %+v", d)
+	}
+
+	// The last threshold rule of each kind wins.
+	e = mustEngine(t, `
+{[risk][network]["unknown"][60]}
+{[threshold][block][200]}
+{[threshold][block][55]}
+`)
+	d = e.EvaluateFlow(h, stack, &FlowContext{})
+	if d.Verdict != VerdictDrop || !d.RiskBlocked {
+		t.Fatalf("last block threshold (55) should drop score 60: %+v", d)
+	}
+
+	// Threshold rules without risk rules leave the program inactive.
+	e = mustEngine(t, `{[threshold][block][1]}`)
+	if e.ContextActive() {
+		t.Fatal("thresholds alone must not activate the context program")
+	}
+	d = e.EvaluateFlow(h, stack, &FlowContext{})
+	if d.Verdict != VerdictAllow || d.RiskApplied {
+		t.Fatalf("inactive program: %+v", d)
+	}
+}
+
+func TestDegradedOverridesRisk(t *testing.T) {
+	e := mustEngine(t, contextDoc)
+	if err := e.SetDegraded(VerdictAllow, "fail-open"); err != nil {
+		t.Fatal(err)
+	}
+	var h dex.TruncatedHash
+	stack := []dex.Signature{{Package: "com/corp", Class: "Main", Name: "run", Proto: "()V"}}
+	d := e.EvaluateFlow(h, stack, &FlowContext{Device: DeviceContext{VelocityKmh: 9000}})
+	if d.Verdict != VerdictAllow || d.RiskApplied {
+		t.Fatalf("degraded override must bypass risk: %+v", d)
+	}
+}
+
+func TestRiskRuleHitCounters(t *testing.T) {
+	e := mustEngine(t, contextDoc)
+	var h dex.TruncatedHash
+	stack := []dex.Signature{{Package: "com/corp", Class: "Main", Name: "run", Proto: "()V"}}
+	e.EvaluateFlow(h, stack, &FlowContext{Device: DeviceContext{Network: NetTrusted}, MinuteOfDay: 14 * 60, Weekday: 2})
+	st := e.Stats()
+	// Rule 2 is {[risk][network]["trusted"][-30]} in contextDoc order.
+	if st.RuleHits[2] != 1 {
+		t.Fatalf("trusted-network risk rule hit count = %v", st.RuleHits)
+	}
+}
+
+func TestSetRulesSwapsContextProgram(t *testing.T) {
+	e := mustEngine(t, `{[deny][library]["com/flurry"]}`)
+	if e.ContextActive() {
+		t.Fatal("context active without risk rules")
+	}
+	gen := e.Generation()
+	rules, err := ParsePolicyString(contextDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRules(rules); err != nil {
+		t.Fatal(err)
+	}
+	if !e.ContextActive() {
+		t.Fatal("context inactive after SetRules with risk rules")
+	}
+	if e.Generation() == gen {
+		t.Fatal("SetRules did not bump the generation")
+	}
+}

@@ -34,10 +34,24 @@ func (v Verdict) String() string {
 // Decision is a verdict plus the rule that produced it (nil for defaults).
 type Decision struct {
 	Verdict Verdict
-	// Rule is the decisive rule; nil when the default applied.
+	// Rule is the decisive rule; nil when the default applied (or when a
+	// risk score, not one rule, decided).
 	Rule *Rule
 	// Reason is a human-readable explanation for audit logs.
 	Reason string
+
+	// RiskApplied reports that the contextual risk program ran for this
+	// decision (risk rules loaded, flow context supplied, access rules
+	// admitted the flow). RiskScore is then the summed predicate weights.
+	RiskApplied bool
+	// RiskWarn flags an admitted flow whose score reached the warn
+	// threshold — allow-with-warning, never a third verdict.
+	RiskWarn bool
+	// RiskBlocked reports that the drop verdict came from the risk score
+	// reaching the block threshold rather than an access rule.
+	RiskBlocked bool
+	// RiskScore is the flow's summed risk score when RiskApplied.
+	RiskScore int
 }
 
 // Engine evaluates ordered rules with a configurable default action. It is
@@ -68,6 +82,10 @@ type Engine struct {
 	evaluations  atomic.Uint64
 	defaultHits  atomic.Uint64
 	degradedHits atomic.Uint64
+
+	riskEvaluations atomic.Uint64
+	riskWarns       atomic.Uint64
+	riskBlocks      atomic.Uint64
 }
 
 // NewEngine builds an engine with the given ordered rules, compiled for
@@ -169,6 +187,17 @@ func (e *Engine) Default() Verdict { return e.defaultV }
 // were compiled ahead of time, so evaluation is a few map and prefix
 // probes with no locking, parsing, or allocation.
 func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Decision {
+	return e.EvaluateFlow(appHash, stack, nil)
+}
+
+// EvaluateFlow is Evaluate plus the contextual dimension: when fc is
+// non-nil and the rule set carries risk rules, the flow's risk score is
+// computed after — and only when — the access rules admit the flow, and
+// folded into the decision (drop at the block threshold, RiskWarn at the
+// warn threshold). This runs once per flow at SYN/cache-miss time; the
+// resulting decision is what the flow table caches, so the per-packet path
+// never evaluates context.
+func (e *Engine) EvaluateFlow(appHash dex.TruncatedHash, stack []dex.Signature, fc *FlowContext) Decision {
 	// Degraded-mode override: one pointer load on the (cache-miss) path,
 	// nil in normal operation.
 	if d := e.degraded.Load(); d != nil {
@@ -180,6 +209,7 @@ func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Deci
 	decisive := c.evaluate(appHash, stack)
 
 	e.evaluations.Add(1)
+	var d Decision
 	if decisive < len(c.rules) {
 		c.hits[decisive].Add(1)
 		r := &c.rules[decisive]
@@ -187,10 +217,43 @@ func (e *Engine) Evaluate(appHash dex.TruncatedHash, stack []dex.Signature) Deci
 		if r.Action == Allow {
 			v = VerdictAllow
 		}
-		return Decision{Verdict: v, Rule: r, Reason: c.reasons[decisive]}
+		d = Decision{Verdict: v, Rule: r, Reason: c.reasons[decisive]}
+	} else {
+		e.defaultHits.Add(1)
+		d = Decision{Verdict: e.defaultV, Reason: e.defReason}
 	}
-	e.defaultHits.Add(1)
-	return Decision{Verdict: e.defaultV, Reason: e.defReason}
+	if fc != nil && c.ctx != nil && d.Verdict == VerdictAllow {
+		score := c.ctx.score(fc, c)
+		d.RiskApplied = true
+		d.RiskScore = score
+		e.riskEvaluations.Add(1)
+		switch {
+		case score >= c.ctx.blockAt:
+			d.Verdict = VerdictDrop
+			d.Rule = nil
+			d.RiskBlocked = true
+			d.Reason = fmt.Sprintf("risk score %d >= block threshold %d", score, c.ctx.blockAt)
+			e.riskBlocks.Add(1)
+		case score >= c.ctx.warnAt:
+			d.RiskWarn = true
+			e.riskWarns.Add(1)
+		}
+	}
+	return d
+}
+
+// ContextActive reports whether the current rule set carries risk rules —
+// callers use it to skip building a FlowContext entirely for
+// call-stack-only policies.
+func (e *Engine) ContextActive() bool { return e.compiled.Load().ctx != nil }
+
+// Thresholds returns the effective warn and block risk thresholds of the
+// current rule set (defaults when no context program is active).
+func (e *Engine) Thresholds() (warn, block int) {
+	if ctx := e.compiled.Load().ctx; ctx != nil {
+		return ctx.warnAt, ctx.blockAt
+	}
+	return DefaultWarnRisk, DefaultBlockRisk
 }
 
 // Stats reports evaluation counters for monitoring.
@@ -201,6 +264,12 @@ type Stats struct {
 	// (fail-open/fail-closed posture) instead of the rule set.
 	DegradedHits uint64
 	RuleHits     map[int]uint64
+	// RiskEvaluations counts flows the contextual risk program scored
+	// (once per flow, at SYN time); RiskWarns and RiskBlocks count the
+	// scores that reached the warn and block thresholds.
+	RiskEvaluations uint64
+	RiskWarns       uint64
+	RiskBlocks      uint64
 }
 
 // Stats returns a snapshot of the engine's counters. RuleHits carries the
@@ -214,9 +283,12 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return Stats{
-		Evaluations:  e.evaluations.Load(),
-		DefaultHits:  e.defaultHits.Load(),
-		DegradedHits: e.degradedHits.Load(),
-		RuleHits:     hits,
+		Evaluations:     e.evaluations.Load(),
+		DefaultHits:     e.defaultHits.Load(),
+		DegradedHits:    e.degradedHits.Load(),
+		RuleHits:        hits,
+		RiskEvaluations: e.riskEvaluations.Load(),
+		RiskWarns:       e.riskWarns.Load(),
+		RiskBlocks:      e.riskBlocks.Load(),
 	}
 }

@@ -33,10 +33,27 @@ var fuzzSeedRules = []string{
 	`{[deny][library][bare/target]}`,
 	`{[deny][library]["a//b"]}`,
 	`{[allow][method]["Lcom/corp/Main;->run*"]}`,
+	// Contextual risk predicates and thresholds (context.go).
+	`{[risk][time]["22:00-06:00"][35]}`,
+	`{[risk][time]["weekend"][20]}`,
+	`{[risk][time]["weekday 09:00-17:30"][-10]}`,
+	`{[risk][network]["unknown"][60]}`,
+	`{[risk][network]["trusted"][-30]}`,
+	`{[risk][posture]["screen-locked"][15]}`,
+	`{[risk][posture]["patch-age>90"][40]}`,
+	`{[risk][travel]["impossible"][100]}`,
+	`{[risk][travel][">300"][55]}`,
+	`{[threshold][warn][40]}`,
+	`{[threshold][block][100]}`,
 	// Malformed shapes that must error cleanly.
 	`{[deny][library "x"]}`,
 	`{[deny]["x"]}`,
 	`{{[deny][library]["x"]}}`,
+	`{[risk][time]["25:00-26:00"][10]}`,
+	`{[risk][network]["wired"][10]}`,
+	`{[risk][travel]["impossible"]}`,
+	`{[threshold][maybe][10]}`,
+	`{[threshold][block][0]}`,
 	``,
 }
 

@@ -8,12 +8,18 @@ import (
 	"strings"
 )
 
-// This file parses the paper's simplified policy grammar (§IV-B Snippet 1):
+// This file parses the paper's simplified policy grammar (§IV-B Snippet 1)
+// plus the contextual extension (context.go):
 //
 //	<POLICY> ::= {[<ACTION>] [<LEVEL>] [<TARGET>]}
+//	           | {[risk] [<PREDICATE>] [<SPEC>] [<WEIGHT>]}
+//	           | {[threshold] [(warn | block)] [<VALUE>]}
 //	<ACTION> ::= (allow | deny)
 //	<LEVEL>  ::= (hash | library | class | method)
 //	<TARGET> ::= quoted string
+//	<PREDICATE> ::= (time | network | posture | travel)
+//	<SPEC>   ::= quoted string (predicate-specific, see context.go)
+//	<WEIGHT> ::= integer (may be negative)
 //
 // Lines starting with // are comments; blank lines are ignored. Multi-line
 // rules are supported because the paper's own examples wrap long method
@@ -30,7 +36,12 @@ import (
 // of the offending rule, so one bad rule in a thousand-line policy file is
 // locatable without bisecting the document.
 
-// ParseRule parses a single {[action][level]["target"]} rule.
+// ParseRule parses a single rule in any of the grammar's forms,
+// dispatching on the first bracketed field:
+//
+//	{[allow|deny][level]["target"]}       access rule (paper §IV-B)
+//	{[risk][predicate]["spec"][weight]}   contextual risk predicate
+//	{[threshold][warn|block][value]}      risk threshold
 func ParseRule(raw string) (Rule, error) {
 	s := strings.TrimSpace(raw)
 	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
@@ -41,19 +52,56 @@ func ParseRule(raw string) (Rule, error) {
 	if err != nil {
 		return Rule{}, err
 	}
-	if len(fields) != 3 {
-		return Rule{}, fmt.Errorf("%w: rule %q has %d fields, want 3", ErrBadRule, raw, len(fields))
+	if len(fields) == 0 {
+		return Rule{}, fmt.Errorf("%w: rule %q is empty", ErrBadRule, raw)
 	}
-	action, err := ParseAction(strings.TrimSpace(fields[0]))
-	if err != nil {
-		return Rule{}, err
+	var rule Rule
+	switch strings.TrimSpace(fields[0]) {
+	case "risk":
+		if len(fields) != 4 {
+			return Rule{}, fmt.Errorf("%w: risk rule %q has %d fields, want 4", ErrBadRule, raw, len(fields))
+		}
+		pred, err := ParsePredicate(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return Rule{}, err
+		}
+		weight, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+		if err != nil {
+			return Rule{}, fmt.Errorf("%w: risk weight %q is not an integer", ErrBadRule, fields[3])
+		}
+		rule = Rule{
+			Kind:   KindRisk,
+			Pred:   pred,
+			Target: unquoteTarget(strings.TrimSpace(fields[2])),
+			Weight: weight,
+		}
+	case "threshold":
+		if len(fields) != 3 {
+			return Rule{}, fmt.Errorf("%w: threshold rule %q has %d fields, want 3", ErrBadRule, raw, len(fields))
+		}
+		kind, err := ParseThresholdKind(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return Rule{}, err
+		}
+		value, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil {
+			return Rule{}, fmt.Errorf("%w: threshold value %q is not an integer", ErrBadRule, fields[2])
+		}
+		rule = Rule{Kind: KindThreshold, Thresh: kind, Weight: value}
+	default:
+		if len(fields) != 3 {
+			return Rule{}, fmt.Errorf("%w: rule %q has %d fields, want 3", ErrBadRule, raw, len(fields))
+		}
+		action, err := ParseAction(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return Rule{}, err
+		}
+		level, err := ParseLevel(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return Rule{}, err
+		}
+		rule = Rule{Action: action, Level: level, Target: unquoteTarget(strings.TrimSpace(fields[2]))}
 	}
-	level, err := ParseLevel(strings.TrimSpace(fields[1]))
-	if err != nil {
-		return Rule{}, err
-	}
-	target := unquoteTarget(strings.TrimSpace(fields[2]))
-	rule := Rule{Action: action, Level: level, Target: target}
 	if err := rule.Validate(); err != nil {
 		return Rule{}, err
 	}

@@ -103,23 +103,66 @@ func ParseAction(s string) (Action, error) {
 	}
 }
 
-// Rule is one policy rule (α, L, θ).
+// Rule is one policy rule. The paper's access form is (α, L, θ); the
+// contextual extension adds risk-predicate and threshold forms selected by
+// Kind (see context.go). The zero Kind is KindAccess, so pre-contextual
+// Rule literals keep their meaning.
 type Rule struct {
 	Action Action
 	Level  Level
 	Target string
+
+	// Kind discriminates the rule form; zero is KindAccess.
+	Kind Kind
+	// Pred is the contextual dimension of a KindRisk rule; Target then
+	// holds the predicate spec ("22:00-06:00", "trusted", ...).
+	Pred Predicate
+	// Weight is the risk contribution of a KindRisk rule (may be
+	// negative), or the threshold value of a KindThreshold rule.
+	Weight int
+	// Thresh selects warn or block for a KindThreshold rule.
+	Thresh ThresholdKind
 }
 
 // ErrBadRule reports an unparsable rule.
 var ErrBadRule = errors.New("policy: malformed rule")
 
-// String renders the rule in the paper's grammar.
+// String renders the rule in the grammar of its kind.
 func (r Rule) String() string {
-	return fmt.Sprintf("{[%s][%s][%q]}", r.Action, r.Level, r.Target)
+	switch r.Kind {
+	case KindRisk:
+		return fmt.Sprintf("{[risk][%s][%q][%d]}", r.Pred, r.Target, r.Weight)
+	case KindThreshold:
+		return fmt.Sprintf("{[threshold][%s][%d]}", r.Thresh, r.Weight)
+	default:
+		return fmt.Sprintf("{[%s][%s][%q]}", r.Action, r.Level, r.Target)
+	}
 }
 
 // Validate rejects incomplete or inconsistent rules.
 func (r Rule) Validate() error {
+	switch r.Kind {
+	case KindAccess:
+		// Validated below.
+	case KindRisk:
+		if _, err := compilePredicate(r.Pred, r.Target); err != nil {
+			return err
+		}
+		if r.Weight < -MaxRiskWeight || r.Weight > MaxRiskWeight {
+			return fmt.Errorf("%w: risk weight %d outside ±%d", ErrBadRule, r.Weight, MaxRiskWeight)
+		}
+		return nil
+	case KindThreshold:
+		if r.Thresh != ThresholdWarn && r.Thresh != ThresholdBlock {
+			return fmt.Errorf("%w: %s has no threshold kind", ErrBadRule, r)
+		}
+		if r.Weight < 1 || r.Weight > MaxRiskThreshold {
+			return fmt.Errorf("%w: threshold value %d outside 1..%d", ErrBadRule, r.Weight, MaxRiskThreshold)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown rule kind %d", ErrBadRule, int(r.Kind))
+	}
 	if r.Action != Allow && r.Action != Deny {
 		return fmt.Errorf("%w: %s has no action", ErrBadRule, r)
 	}
