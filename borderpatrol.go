@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/audit"
 	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/dataplane"
 	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/dex"
 	"borderpatrol/internal/enforcer"
@@ -384,11 +386,25 @@ func build(cfg Config, network *netsim.Network, name string) (*Deployment, error
 	}
 	enf := enforcer.New(enfCfg, db, engine)
 	san := sanitizer.New(sanitizer.Config{})
+	var dp *dataplane.Dataplane
+	if cfg.Flow.Dataplane && enfCfg.Flows != nil {
+		cores := cfg.Flow.Workers
+		if cores <= 0 {
+			cores = runtime.GOMAXPROCS(0)
+		}
+		dp = dataplane.New(dataplane.Config{
+			Cores:   cores,
+			Entries: cfg.Flow.DataplaneEntries,
+			TTL:     cfg.Flow.TTL,
+			Clock:   network.Clock,
+		}, enf)
+	}
 	gw := netsim.NewGateway(netsim.GatewayConfig{
 		Enforcer:  enf,
 		Sanitizer: san,
 		Workers:   cfg.Flow.Workers,
 		Clock:     network.Clock,
+		Dataplane: dp,
 	})
 
 	reg := metrics.NewRegistry()

@@ -68,6 +68,16 @@ type FlowConfig struct {
 	// Workers sizes the gateway's per-core batch drain (0 selects
 	// GOMAXPROCS).
 	Workers int
+	// Dataplane compiles the hot rule subset and established-flow verdicts
+	// into a per-core match-action stage probed at the netfilter layer
+	// before the enforcer queue — the software analogue of a P4 switch
+	// table. Requires the flow pipeline (any CacheSize ≥ 0); entries
+	// self-invalidate on policy/database/context changes through the same
+	// generation contract the verdict cache uses.
+	Dataplane bool
+	// DataplaneEntries sizes each per-core table (rounded up to a power
+	// of two; 0 selects 2048 entries of ~88 bytes).
+	DataplaneEntries int
 }
 
 // AuditConfig shapes the asynchronous enforcement audit pipeline.

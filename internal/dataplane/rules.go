@@ -1,0 +1,130 @@
+// The compiled rule stage: the subset of the policy the dataplane can
+// evaluate without the full enforcer. A hash-level rule that wins
+// against every possible stack (policy.HashDecisives) decides every
+// packet of its app, so the stage needs only the app hash — read
+// structurally out of the tag header — plus enough validation to prove
+// the full pipeline would have reached the policy engine at all (tag
+// well-formed, app known, every index inside the app's method table).
+// Anything short of that proof is a miss: the stage must never answer a
+// packet the enforcer would have dropped as malformed/unknown/bad-index,
+// because those carry different causes.
+package dataplane
+
+import (
+	"borderpatrol/internal/dex"
+	"borderpatrol/internal/enforcer"
+	"borderpatrol/internal/kernel"
+	"borderpatrol/internal/policy"
+	"borderpatrol/internal/tag"
+)
+
+// ruleApp is one compiled app: its decisive action and the method-table
+// size its tag indexes must stay inside.
+type ruleApp struct {
+	allow  bool
+	maxIdx uint32
+}
+
+// ruleStage is one generation's compiled hash-decisive table. Immutable
+// after publication; read lock-free through an atomic pointer.
+type ruleStage struct {
+	gen  uint64
+	apps map[dex.TruncatedHash]ruleApp
+}
+
+// probeRules answers a flow-table miss from the compiled stage when the
+// packet's app has a decisive hash rule and the tag validates
+// structurally. Returns the same verdict and cause the full pipeline
+// would produce; hits are promoted into the core's table so the rest of
+// the flow is answered by the flat array.
+func (c *Core) probeRules(gen uint64, k *probeKey) (kernel.Verdict, any, bool) {
+	d := c.dp
+	st := d.stage.Load()
+	if st == nil || st.gen != gen {
+		st = d.rebuildStage(gen)
+		if st == nil {
+			return 0, nil, false
+		}
+	}
+	if len(st.apps) == 0 {
+		return 0, nil, false
+	}
+	data := k.tagData
+	// Structural tag walk, mirroring tag.DecodeInto's accept set exactly:
+	// version nibble, full header, and a clean index walk. (The flag
+	// nibble carries no policy input, so it needs no validation.)
+	if len(data) < tag.HeaderSize || data[0]>>4 != tag.Version {
+		return 0, nil, false // enforcer would say DropMalformedTag
+	}
+	var h dex.TruncatedHash
+	copy(h[:], data[1:tag.HeaderSize])
+	app, ok := st.apps[h]
+	if !ok {
+		return 0, nil, false
+	}
+	rest := data[tag.HeaderSize:]
+	for len(rest) > 0 {
+		var idx uint32
+		if rest[0]&0x80 != 0 {
+			if len(rest) < 3 {
+				return 0, nil, false // dangling wide index: DropMalformedTag
+			}
+			idx = uint32(rest[0]&0x7f)<<16 | uint32(rest[1])<<8 | uint32(rest[2])
+			rest = rest[3:]
+		} else {
+			if len(rest) < 2 {
+				return 0, nil, false // dangling narrow index: DropMalformedTag
+			}
+			idx = uint32(rest[0])<<8 | uint32(rest[1])
+			rest = rest[2:]
+		}
+		if idx >= app.maxIdx {
+			return 0, nil, false // enforcer would say DropBadIndex
+		}
+	}
+	// Proven: the full path reaches the policy engine, and the decisive
+	// hash rule wins against any stack these indexes decode to.
+	d.ruleHits.Inc()
+	if app.allow {
+		c.insert(k.digest, k, uint8(policy.VerdictAllow), uint8(enforcer.DropNone), gen)
+		return kernel.VerdictAccept, &interned[enforcer.DropNone], true
+	}
+	c.insert(k.digest, k, uint8(policy.VerdictDrop), uint8(enforcer.DropPolicy), gen)
+	return kernel.VerdictDrop, &interned[enforcer.DropPolicy], true
+}
+
+// rebuildStage compiles the stage for the current generation. TryLock
+// keeps a reconfiguration storm from stampeding rebuilds: the loser
+// simply misses to the enforcer for this packet. The stage is stamped
+// with a generation read before its inputs, so a mid-build
+// reconfiguration yields a stage that is already stale (and rebuilt on
+// next contact) rather than one mislabelled as current.
+func (d *Dataplane) rebuildStage(want uint64) *ruleStage {
+	if !d.stageMu.TryLock() {
+		return nil
+	}
+	defer d.stageMu.Unlock()
+	if st := d.stage.Load(); st != nil && st.gen == want {
+		return st // raced with another rebuild that already got there
+	}
+	gen := d.enf.CacheGeneration()
+	decisives := d.enf.Engine().HashDecisives()
+	db := d.enf.Database()
+	apps := make(map[dex.TruncatedHash]ruleApp, len(decisives))
+	for _, hd := range decisives {
+		// Only apps in the database compile in: an unknown app's packets
+		// carry DropUnknownApp, which no rule can decide.
+		r, known := db.Resolve(hd.Hash)
+		if !known {
+			continue
+		}
+		apps[hd.Hash] = ruleApp{allow: hd.Allow, maxIdx: uint32(r.Len())}
+	}
+	st := &ruleStage{gen: gen, apps: apps}
+	d.stage.Store(st)
+	d.stageBuilds.Inc()
+	if gen != want {
+		return nil // inputs moved mid-build; stage will rebuild on contact
+	}
+	return st
+}

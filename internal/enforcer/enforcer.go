@@ -110,11 +110,19 @@ const (
 	// DropRisk is a flow denied by its contextual risk score reaching the
 	// block threshold (access rules would have admitted it).
 	DropRisk
+	// DropSeqInjection is a response-direction TCP segment whose sequence
+	// number broke the connection's continuity — the mid-stream injection
+	// signature the gateway's directional verdict state exists to catch.
+	DropSeqInjection
 
 	// dropCauseCount sizes per-cause counters; keep it last so new causes
 	// automatically grow the counter array.
 	dropCauseCount
 )
+
+// NumDropCauses is the number of defined drop causes (DropNone included);
+// external stages sizing per-cause state use it instead of guessing.
+const NumDropCauses = int(dropCauseCount)
 
 // String names the drop cause.
 func (c DropCause) String() string {
@@ -133,6 +141,8 @@ func (c DropCause) String() string {
 		return "policy"
 	case DropRisk:
 		return "risk"
+	case DropSeqInjection:
+		return "seq-injection"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -276,6 +286,10 @@ func New(cfg Config, db *analyzer.Database, engine *policy.Engine) *Enforcer {
 // Engine exposes the policy engine (for central reconfiguration).
 func (e *Enforcer) Engine() *policy.Engine { return e.engine }
 
+// Database exposes the signature database (the dataplane's rule-stage
+// compiler validates tag indexes against each app's method-table size).
+func (e *Enforcer) Database() *analyzer.Database { return e.db }
+
 // FlowCacheEnabled reports whether per-flow verdict caching is active.
 func (e *Enforcer) FlowCacheEnabled() bool { return e.flows != nil }
 
@@ -294,6 +308,12 @@ func (e *Enforcer) generation() uint64 {
 	}
 	return g
 }
+
+// CacheGeneration exposes the combined cache generation (see generation)
+// to external verdict stages layered below the enforcer: the dataplane's
+// per-core match tables stamp entries with it and treat any change as
+// invalidation, inheriting the exact contract the flow table uses.
+func (e *Enforcer) CacheGeneration() uint64 { return e.generation() }
 
 // flowContext fills fc with the packet's SYN-time context — the source
 // device's context snapshot plus the virtual wall-clock position — and

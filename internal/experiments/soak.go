@@ -149,6 +149,11 @@ type SoakResult struct {
 	// reference verdict for the active rule set outside degraded windows —
 	// also always zero (covers cold-restart re-resolution).
 	VerdictMismatches int
+	// SpuriousResponseDrops counts server responses the gateway's
+	// response-direction continuity check refused. The soak injects no
+	// crafted responses, so any drop here is a false positive — always
+	// zero, even across restarts (the tracker re-adopts mid-stream).
+	SpuriousResponseDrops int
 
 	// ConnsLeaked and FlowsLeaked are tracked connections / cached flow
 	// verdicts still alive after the final idle sweep — both must be zero.
@@ -199,6 +204,12 @@ func (r *SoakResult) Check() error {
 		return fmt.Errorf("soak: %d fail-safe violations (deny delivered)", r.FailSafeViolations)
 	case r.VerdictMismatches != 0:
 		return fmt.Errorf("soak: %d verdicts diverged from reference", r.VerdictMismatches)
+	case r.SpuriousResponseDrops != 0:
+		return fmt.Errorf("soak: %d clean responses dropped as seq injections", r.SpuriousResponseDrops)
+	case r.Conntrack.ResponsesChecked == 0:
+		return fmt.Errorf("soak: response-direction continuity check never exercised")
+	case r.Conntrack.ResponseSeqDrops != 0:
+		return fmt.Errorf("soak: %d response seq-injection drops in clean traffic", r.Conntrack.ResponseSeqDrops)
 	case r.ConnsLeaked != 0:
 		return fmt.Errorf("soak: %d conntrack entries leaked", r.ConnsLeaked)
 	case r.FlowsLeaked != 0:
@@ -359,6 +370,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		FlowTTL:           soakFlowTTL,
 		Faults:            &cfg.Faults,
 		DisableCapture:    true,
+		Dataplane:         true,
 	})
 	if err != nil {
 		return nil, err
@@ -474,6 +486,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 				if got != deny {
 					res.VerdictMismatches++
 				}
+			}
+			if d.ResponseDropped {
+				res.SpuriousResponseDrops++
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"borderpatrol/internal/netsim"
 	"borderpatrol/internal/policystore"
 )
 
@@ -89,6 +90,12 @@ func assertSoakShape(t *testing.T, res *SoakResult, cfg SoakConfig) {
 	if ct.DupCloses == 0 {
 		t.Error("no duplicate closes observed (duplicated FINs should produce them)")
 	}
+	if ct.ResponsesChecked == 0 {
+		t.Error("response-direction continuity check never ran")
+	}
+	if ct.ResponseAdopts == 0 {
+		t.Error("no mid-stream adoptions (restarts wipe the tracker; their responses should re-prime)")
+	}
 	if len(res.Snapshots) < 10 {
 		t.Errorf("in-run snapshots = %d, want >= 10", len(res.Snapshots))
 	}
@@ -103,7 +110,7 @@ func assertSoakShape(t *testing.T, res *SoakResult, cfg SoakConfig) {
 // into Check: a steadily climbing conntrack (the half-open-leak signature)
 // must fail the run even though every end-state field is clean.
 func TestLeakTrendDetectsMonotoneGrowth(t *testing.T) {
-	res := &SoakResult{}
+	res := &SoakResult{Conntrack: netsim.ConntrackStats{ResponsesChecked: 1}}
 	for i := 0; i < 16; i++ {
 		res.Snapshots = append(res.Snapshots, SoakSnapshot{
 			Epoch:     i + 1,
@@ -118,7 +125,7 @@ func TestLeakTrendDetectsMonotoneGrowth(t *testing.T) {
 }
 
 func TestLeakTrendIgnoresHealthyChurn(t *testing.T) {
-	res := &SoakResult{}
+	res := &SoakResult{Conntrack: netsim.ConntrackStats{ResponsesChecked: 1}}
 	for i := 0; i < 16; i++ {
 		res.Snapshots = append(res.Snapshots, SoakSnapshot{
 			Epoch:     i + 1,

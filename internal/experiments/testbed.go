@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"borderpatrol/internal/analyzer"
@@ -17,6 +18,7 @@ import (
 	"borderpatrol/internal/apkgen"
 	"borderpatrol/internal/audit"
 	"borderpatrol/internal/contextmgr"
+	"borderpatrol/internal/dataplane"
 	"borderpatrol/internal/devctx"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/flowtable"
@@ -113,6 +115,10 @@ type TestbedConfig struct {
 	// DisableCapture turns the network's packet-capture logs off (they
 	// clone every packet — unbounded memory over a soak run).
 	DisableCapture bool
+	// Dataplane compiles hot rules and established-flow verdicts into the
+	// per-core match-action stage probed below the enforcer queue. Requires
+	// EnforcementOn and the flow cache (ignored when either is off).
+	Dataplane bool
 }
 
 // NewTestbed provisions a device, loads the Context Manager, analyzes and
@@ -211,6 +217,17 @@ func NewTestbed(corpus []*apkgen.App, cfg TestbedConfig) (*Testbed, error) {
 		}
 		tb.Enforcer = enforcer.New(enfCfg, db, engine)
 		gwCfg.Enforcer = tb.Enforcer
+		if cfg.Dataplane && !cfg.DisableFlowCache {
+			cores := cfg.GatewayWorkers
+			if cores <= 0 {
+				cores = runtime.GOMAXPROCS(0)
+			}
+			gwCfg.Dataplane = dataplane.New(dataplane.Config{
+				Cores: cores,
+				TTL:   cfg.FlowTTL,
+				Clock: tb.Network.Clock,
+			}, tb.Enforcer)
+		}
 	}
 	tb.Network.Gateway = netsim.NewGateway(gwCfg)
 

@@ -80,7 +80,7 @@ func BenchmarkFlowMissFlood(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k := key(1_000_000 + i) // never repeats: pure flood
+		k := floodKey(uint64(1_000_000 + i)) // never repeats: pure flood
 		if _, ok := tb.Lookup(k, 1); ok {
 			b.Fatal("flood key hit")
 		}
@@ -99,7 +99,7 @@ func BenchmarkFlowMissFloodNegCache(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k := key(1_000_000 + i)
+		k := floodKey(uint64(1_000_000 + i))
 		if _, ok := tb.Lookup(k, 1); ok {
 			b.Fatal("flood key hit")
 		}

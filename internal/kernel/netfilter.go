@@ -82,6 +82,29 @@ type BatchVerdict struct {
 // per-packet recv/verdict round trip hurts most.
 type QueueBatchHandler func(pkts []*ipv4.Packet) []BatchVerdict
 
+// DataplaneCore is one core's leased view of a match-action dataplane: a
+// single-owner verdict table probed before the queue handler. Probe
+// answers a packet from compiled state (ok false = miss; the caller runs
+// the handler and Promotes the outcome). The any value is handler-level
+// auxiliary data for the hit (the dataplane returns the same type the
+// queue handler would attach, so downstream consumers cannot tell the
+// fast and slow paths apart). Promote is called with the handler's
+// verdict and Aux for each miss, letting the dataplane learn the flow.
+// A Core is held for one batch traversal and Released after it.
+type DataplaneCore interface {
+	Probe(pkt *ipv4.Packet) (Verdict, any, bool)
+	Promote(pkt *ipv4.Packet, v Verdict, aux any)
+	Release()
+}
+
+// Dataplane hands out per-core verdict tables to batch traversals.
+// Acquire may return nil (every core busy); the traversal then runs
+// handler-only, which is always correct — the dataplane is a pure
+// accelerator.
+type Dataplane interface {
+	Acquire() DataplaneCore
+}
+
 // RuleTarget is what an iptables rule does on match.
 type RuleTarget int
 
@@ -115,6 +138,7 @@ type Netfilter struct {
 	chains       map[Chain][]Rule
 	queues       map[int]QueueHandler
 	batchQueues  map[int]QueueBatchHandler
+	dataplanes   map[int]Dataplane
 	accepted     atomic.Uint64
 	dropped      atomic.Uint64
 	queuedOK     atomic.Uint64
@@ -132,6 +156,7 @@ func NewNetfilter() *Netfilter {
 		chains:      make(map[Chain][]Rule),
 		queues:      make(map[int]QueueHandler),
 		batchQueues: make(map[int]QueueBatchHandler),
+		dataplanes:  make(map[int]Dataplane),
 	}
 }
 
@@ -166,12 +191,24 @@ func (nf *Netfilter) RegisterBatchQueue(num int, h QueueBatchHandler) {
 	nf.batchQueues[num] = h
 }
 
+// RegisterDataplane installs a match-action stage in front of an
+// NFQUEUE's batch handler: batch traversals probe it per packet before
+// crossing into user space, fall through to the handler on miss, and
+// promote the handler's outcomes back into it. The hardware-offload
+// shape: compiled fast path below, full enforcement above.
+func (nf *Netfilter) RegisterDataplane(num int, dp Dataplane) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.dataplanes[num] = dp
+}
+
 // UnregisterQueue detaches a queue's handlers (user-space program exited).
 func (nf *Netfilter) UnregisterQueue(num int) {
 	nf.mu.Lock()
 	defer nf.mu.Unlock()
 	delete(nf.queues, num)
 	delete(nf.batchQueues, num)
+	delete(nf.dataplanes, num)
 }
 
 // Output runs a packet through OUTPUT then POSTROUTING, as the kernel does
@@ -272,13 +309,18 @@ func (nf *Netfilter) OutputBatch(pkts []*ipv4.Packet) ([]BatchResult, error) {
 }
 
 // traverseBatch walks one chain over every not-yet-decided item.
+// Verdict counters accumulate in locals and flush once per traversal —
+// at batch sizes the per-packet atomic adds were a measurable slice of
+// the fast-path budget.
 func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 	nf.mu.RLock()
 	rules := nf.chains[chain]
 	nf.mu.RUnlock()
 
 	var firstErr error
-	// matched carries the item indexes a queue rule diverts this round.
+	var accepted, dropped, queued uint64
+	// matched carries the item indexes a queue rule diverts this round,
+	// sized once at full batch width so append never regrows it.
 	var matched []int
 	for ri := range rules {
 		r := &rules[ri]
@@ -290,7 +332,7 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 					continue
 				}
 				it.done = true
-				nf.accepted.Add(1)
+				accepted++
 			}
 		case TargetDrop:
 			for i := range items {
@@ -300,9 +342,12 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 				}
 				it.pkt = nil
 				it.done = true
-				nf.dropped.Add(1)
+				dropped++
 			}
 		case TargetQueue:
+			if matched == nil {
+				matched = make([]int, 0, len(items))
+			}
 			matched = matched[:0]
 			for i := range items {
 				it := &items[i]
@@ -317,32 +362,78 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 			nf.mu.RLock()
 			bh := nf.batchQueues[r.QueueNum]
 			sh := nf.queues[r.QueueNum]
+			dp := nf.dataplanes[r.QueueNum]
 			nf.mu.RUnlock()
 			switch {
 			case bh != nil:
-				batch := make([]*ipv4.Packet, len(matched))
-				for bi, i := range matched {
-					batch[bi] = items[i].pkt
+				// Match-action stage first: lease a core and answer what it
+				// can before paying the user-space transition. Hits receive
+				// the same Aux a handler would attach, so the consumer
+				// cannot tell the paths apart; misses fall through to the
+				// batch handler and their outcomes are promoted.
+				var core DataplaneCore
+				if dp != nil {
+					core = dp.Acquire()
 				}
-				verdicts := bh(batch)
-				for bi, i := range matched {
-					it := &items[i]
-					// Aux rides along even on drops: the gateway needs the
-					// enforcement result of a denied packet for its audit
-					// trail, exactly like the scalar reader's lastResult.
-					if bi < len(verdicts) && verdicts[bi].Aux != nil {
-						it.aux = verdicts[bi].Aux
+				if core != nil {
+					kept := matched[:0]
+					for _, i := range matched {
+						it := &items[i]
+						v, aux, hit := core.Probe(it.pkt)
+						if !hit {
+							kept = append(kept, i)
+							continue
+						}
+						if aux != nil {
+							it.aux = aux
+						}
+						if v == VerdictDrop {
+							it.pkt = nil
+							it.done = true
+							dropped++
+							continue
+						}
+						queued++
 					}
-					if bi >= len(verdicts) || verdicts[bi].Verdict == VerdictDrop {
-						it.pkt = nil
-						it.done = true
-						nf.dropped.Add(1)
-						continue
+					matched = kept
+				}
+				if len(matched) > 0 {
+					batch := make([]*ipv4.Packet, len(matched))
+					for bi, i := range matched {
+						batch[bi] = items[i].pkt
 					}
-					nf.queuedOK.Add(1)
-					if verdicts[bi].Rewritten != nil {
-						it.pkt = verdicts[bi].Rewritten
+					verdicts := bh(batch)
+					for bi, i := range matched {
+						it := &items[i]
+						// Aux rides along even on drops: the gateway needs the
+						// enforcement result of a denied packet for its audit
+						// trail, exactly like the scalar reader's lastResult.
+						if bi < len(verdicts) && verdicts[bi].Aux != nil {
+							it.aux = verdicts[bi].Aux
+						}
+						if bi >= len(verdicts) {
+							it.pkt = nil
+							it.done = true
+							dropped++
+							continue
+						}
+						if core != nil {
+							core.Promote(batch[bi], verdicts[bi].Verdict, verdicts[bi].Aux)
+						}
+						if verdicts[bi].Verdict == VerdictDrop {
+							it.pkt = nil
+							it.done = true
+							dropped++
+							continue
+						}
+						queued++
+						if verdicts[bi].Rewritten != nil {
+							it.pkt = verdicts[bi].Rewritten
+						}
 					}
+				}
+				if core != nil {
+					core.Release()
 				}
 			case sh != nil:
 				for _, i := range matched {
@@ -351,10 +442,10 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 					if verdict == VerdictDrop {
 						it.pkt = nil
 						it.done = true
-						nf.dropped.Add(1)
+						dropped++
 						continue
 					}
-					nf.queuedOK.Add(1)
+					queued++
 					if rewritten != nil {
 						it.pkt = rewritten
 					}
@@ -363,7 +454,7 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 				for _, i := range matched {
 					items[i].pkt = nil
 					items[i].done = true
-					nf.dropped.Add(1)
+					dropped++
 				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%w: queue %d", ErrNoQueueHandler, r.QueueNum)
@@ -374,8 +465,17 @@ func (nf *Netfilter) traverseBatch(chain Chain, items []batchItem) error {
 	// Chain policy is ACCEPT for the survivors.
 	for i := range items {
 		if !items[i].done {
-			nf.accepted.Add(1)
+			accepted++
 		}
+	}
+	if accepted > 0 {
+		nf.accepted.Add(accepted)
+	}
+	if dropped > 0 {
+		nf.dropped.Add(dropped)
+	}
+	if queued > 0 {
+		nf.queuedOK.Add(queued)
 	}
 	return firstErr
 }

@@ -41,7 +41,7 @@ type Conntrack struct {
 	clock *Clock
 
 	mu   sync.Mutex
-	open map[conntrackKey]time.Duration // key → last activity (virtual)
+	open map[conntrackKey]connState
 
 	// timeWait parks recently closed connections; ring bounds it FIFO.
 	timeWait map[conntrackKey]time.Duration // key → close time (virtual)
@@ -55,6 +55,23 @@ type Conntrack struct {
 	lateSYNs        uint64
 	untrackedCloses uint64
 	idleReclaimed   uint64
+
+	responsesChecked uint64
+	responseSeqDrops uint64
+	responseAdopts   uint64
+	responseLate     uint64
+}
+
+// connState is one open connection's directional verdict state: last
+// activity for idle sweeps, plus the response half's expected sequence
+// number. revNext is primed by the first server→device segment observed
+// (the tracker cannot know the server's ISN in advance) and every later
+// response must continue it exactly — the continuity check that flags a
+// mid-stream injected segment.
+type connState struct {
+	last    time.Duration
+	revNext uint32
+	revSeen bool
 }
 
 // conntrackKey identifies a TCP connection at the gateway. The protocol
@@ -92,6 +109,19 @@ type ConntrackStats struct {
 	// IdleReclaimed counts open entries swept after exceeding the idle
 	// deadline (half-open connections whose teardown was lost).
 	IdleReclaimed uint64
+	// ResponsesChecked counts server→device TCP segments run through the
+	// response-direction continuity check.
+	ResponsesChecked uint64
+	// ResponseSeqDrops counts response segments dropped for breaking
+	// sequence continuity — the mid-stream injection signature.
+	ResponseSeqDrops uint64
+	// ResponseAdopts counts responses for unknown connections adopted
+	// mid-stream (gateway restarted, or the SYN predates the tracker).
+	ResponseAdopts uint64
+	// ResponseLate counts responses landing on a connection already in
+	// TIME_WAIT (the server's reply raced the close); accepted, since the
+	// teardown already fired.
+	ResponseLate uint64
 	// Open is the number of connections currently tracked; TimeWait the
 	// number parked awaiting 5-tuple reuse.
 	Open     int
@@ -124,7 +154,7 @@ const timeWaitTTL = 30 * time.Second
 func NewConntrack(clock *Clock) *Conntrack {
 	return &Conntrack{
 		clock:    clock,
-		open:     make(map[conntrackKey]time.Duration),
+		open:     make(map[conntrackKey]connState),
 		timeWait: make(map[conntrackKey]time.Duration),
 		ring:     make([]timeWaitRecord, maxTimeWait),
 	}
@@ -208,18 +238,76 @@ func (ct *Conntrack) Observe(pkt *ipv4.Packet) (connClosed bool) {
 		}
 		delete(ct.timeWait, k) // TIME_WAIT expired: the tuple is reusable
 	}
-	if _, dup := ct.open[k]; dup {
-		ct.open[k] = now // SYN retransmission: refresh activity only
+	if st, dup := ct.open[k]; dup {
+		st.last = now // SYN retransmission: refresh activity only
+		ct.open[k] = st
 		return false
 	}
+	ct.evictAtCapLocked()
+	ct.open[k] = connState{last: now}
+	ct.established++
+	return false
+}
+
+// evictAtCapLocked frees one arbitrary open slot when the table is full,
+// mirroring real nf_conntrack's table-full behaviour. Caller holds ct.mu.
+func (ct *Conntrack) evictAtCapLocked() {
 	if len(ct.open) >= maxTracked {
 		for victim := range ct.open {
 			delete(ct.open, victim)
 			break
 		}
 	}
-	ct.open[k] = now
-	ct.established++
+}
+
+// ObserveResponse runs one server→device segment through the response
+// half of the connection's verdict state and reports whether the gateway
+// must drop it. The forward direction is enforced per packet by the
+// policy pipeline; the response direction has no tag to enforce, so what
+// it gets is continuity: the first response observed primes the expected
+// sequence number (the tracker cannot know the server's ISN), and every
+// later one must continue it exactly. A segment that breaks continuity
+// is the mid-stream injection signature and is dropped.
+//
+// Unknown connections are adopted mid-stream (a restarted gateway must
+// not go fail-open on established traffic, and adoption re-primes the
+// check); responses landing in TIME_WAIT are accepted as the server's
+// reply racing the close. Non-TCP and headerless packets pass untouched.
+func (ct *Conntrack) ObserveResponse(pkt *ipv4.Packet) (drop bool) {
+	info, ok := transport.PeekPacket(pkt)
+	if !ok || info.Proto != ipv4.ProtoTCP {
+		return false
+	}
+	// The response's key is the forward connection's: swap the endpoints
+	// back so it lands on the entry the SYN established.
+	k := conntrackKey{
+		src: pkt.Header.Dst, dst: pkt.Header.Src,
+		srcPort: info.DstPort, dstPort: info.SrcPort,
+	}
+	dataLen := uint32(len(pkt.Payload) - info.DataOff)
+	now := ct.now()
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if st, open := ct.open[k]; open {
+		ct.responsesChecked++
+		if st.revSeen && info.Seq != st.revNext {
+			ct.responseSeqDrops++
+			return true
+		}
+		st.revNext = info.Seq + dataLen
+		st.revSeen = true
+		st.last = now
+		ct.open[k] = st
+		return false
+	}
+	if at, parked := ct.timeWait[k]; parked && (ct.clock == nil || now-at <= timeWaitTTL) {
+		ct.responseLate++
+		return false
+	}
+	ct.responsesChecked++
+	ct.responseAdopts++
+	ct.evictAtCapLocked()
+	ct.open[k] = connState{last: now, revNext: info.Seq + dataLen, revSeen: true}
 	return false
 }
 
@@ -235,8 +323,8 @@ func (ct *Conntrack) Sweep(idle time.Duration) int {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	reclaimed := 0
-	for k, last := range ct.open {
-		if now-last > idle {
+	for k, st := range ct.open {
+		if now-st.last > idle {
 			delete(ct.open, k)
 			reclaimed++
 		}
@@ -261,6 +349,7 @@ func (ct *Conntrack) Reset() {
 	ct.ringPos, ct.ringLen = 0, 0
 	ct.established, ct.closed = 0, 0
 	ct.dupCloses, ct.lateSYNs, ct.untrackedCloses, ct.idleReclaimed = 0, 0, 0, 0
+	ct.responsesChecked, ct.responseSeqDrops, ct.responseAdopts, ct.responseLate = 0, 0, 0, 0
 }
 
 // Stats snapshots the tracker's counters.
@@ -268,13 +357,17 @@ func (ct *Conntrack) Stats() ConntrackStats {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	return ConntrackStats{
-		Established:     ct.established,
-		Closed:          ct.closed,
-		DupCloses:       ct.dupCloses,
-		LateSYNs:        ct.lateSYNs,
-		UntrackedCloses: ct.untrackedCloses,
-		IdleReclaimed:   ct.idleReclaimed,
-		Open:            len(ct.open),
-		TimeWait:        len(ct.timeWait),
+		Established:      ct.established,
+		Closed:           ct.closed,
+		DupCloses:        ct.dupCloses,
+		LateSYNs:         ct.lateSYNs,
+		UntrackedCloses:  ct.untrackedCloses,
+		IdleReclaimed:    ct.idleReclaimed,
+		ResponsesChecked: ct.responsesChecked,
+		ResponseSeqDrops: ct.responseSeqDrops,
+		ResponseAdopts:   ct.responseAdopts,
+		ResponseLate:     ct.responseLate,
+		Open:             len(ct.open),
+		TimeWait:         len(ct.timeWait),
 	}
 }

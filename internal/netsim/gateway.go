@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"borderpatrol/internal/dataplane"
 	"borderpatrol/internal/enforcer"
 	"borderpatrol/internal/ipv4"
 	"borderpatrol/internal/kernel"
@@ -30,6 +31,11 @@ type Gateway struct {
 	nf        *kernel.Netfilter
 	enforcer  *enforcer.Enforcer
 	sanitizer *sanitizer.Sanitizer
+	// dp is the optional per-core match-action stage installed below the
+	// enforcer queue: batch drains probe it before crossing into user
+	// space, and the gateway feeds it teardown (Invalidate) and restart
+	// (Flush) events so its compiled state tracks the flow lifecycle.
+	dp *dataplane.Dataplane
 	// ct tracks TCP connection state on accepted packets: SYN establishes,
 	// FIN/RST ends the connection and tears down the flow's cached verdict
 	// through the enforcer.
@@ -62,6 +68,11 @@ type GatewayConfig struct {
 	// Clock supplies virtual time to the connection tracker (TIME_WAIT
 	// expiry, idle sweeps); nil disables time-based conntrack expiry.
 	Clock *Clock
+	// Dataplane installs a compiled per-core match-action stage in front
+	// of the enforcer queue (nil leaves the stage out). It must have been
+	// built over the same Enforcer, and should hold at least as many
+	// cores as Workers so every concurrent drain can lease one.
+	Dataplane *dataplane.Dataplane
 }
 
 // NewGateway wires the pipeline onto a fresh netfilter instance.
@@ -97,6 +108,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 			}
 			return out
 		})
+		if cfg.Dataplane != nil {
+			g.dp = cfg.Dataplane
+			g.nf.RegisterDataplane(1, g.dp)
+		}
 		g.nf.Append(kernel.ChainOutput, kernel.Rule{
 			Target: kernel.TargetQueue, QueueNum: 1, Comment: "BYOD traffic to Policy Enforcer",
 		})
@@ -171,9 +186,28 @@ func (g *Gateway) Process(pkt *ipv4.Packet) (*ipv4.Packet, *enforcer.Result, err
 // reach it, so a denied flow's cached drop verdict deliberately survives
 // its FIN: repeat offenders stay cheap to block.
 func (g *Gateway) observeConn(pkt *ipv4.Packet) {
-	if g.ct.Observe(pkt) && g.enforcer != nil {
-		g.enforcer.EndFlow(pkt)
+	if g.ct.Observe(pkt) {
+		if g.enforcer != nil {
+			g.enforcer.EndFlow(pkt)
+		}
+		if g.dp != nil {
+			g.dp.Invalidate(pkt)
+		}
 	}
+}
+
+// ProcessResponse runs one server→device packet through the gateway's
+// response-direction verdict state and reports whether it may pass. The
+// return path carries no tag, so enforcement there is TCP sequence
+// continuity (see Conntrack.ObserveResponse): a mid-stream injected
+// segment whose sequence number breaks the connection's continuity is
+// dropped with the enforcer's DropSeqInjection cause, surfaced through
+// the bp_dataplane_seq_injection_drops_total metric.
+func (g *Gateway) ProcessResponse(pkt *ipv4.Packet) bool {
+	if !g.Active() {
+		return true
+	}
+	return !g.ct.ObserveResponse(pkt)
 }
 
 // BatchOutcome is the fate of one packet in a ProcessBatch drain.
@@ -225,6 +259,9 @@ func (g *Gateway) Restart() {
 	if g.enforcer != nil {
 		g.enforcer.PurgeFlows()
 	}
+	if g.dp != nil {
+		g.dp.Flush()
+	}
 	g.ct.Reset()
 	g.nf.ResetStats()
 	g.restarts.Add(1)
@@ -269,3 +306,6 @@ func (g *Gateway) Enforcer() *enforcer.Enforcer { return g.enforcer }
 
 // Sanitizer returns the sanitizing stage, if present.
 func (g *Gateway) Sanitizer() *sanitizer.Sanitizer { return g.sanitizer }
+
+// Dataplane returns the match-action stage, if present.
+func (g *Gateway) Dataplane() *dataplane.Dataplane { return g.dp }

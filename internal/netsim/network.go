@@ -193,6 +193,12 @@ type Network struct {
 	mu       sync.Mutex
 	servers  map[netip.Addr]*Server
 	captures map[CapturePoint]*Capture
+
+	// respSeq is the server-side TCP sequence position per connection:
+	// what the next synthesized response segment starts at. Keyed on the
+	// forward 5-tuple; bounded like the conntrack's open table.
+	respMu  sync.Mutex
+	respSeq map[respKey]uint32
 }
 
 // NewNetwork builds a testbed with the given NIC mode and latency model.
@@ -207,6 +213,7 @@ func NewNetwork(nic NICMode, model LatencyModel) *Network {
 			CaptureDeviceEgress: {},
 			CapturePostGateway:  {},
 		},
+		respSeq: make(map[respKey]uint32),
 	}
 }
 
@@ -316,6 +323,10 @@ type Delivery struct {
 	// Datagram is the server's UDP reply (a DNS answer, typically); nil
 	// when the packet carried no datagram or the server has no UDPHandler.
 	Datagram []byte
+	// ResponseDropped reports that the server produced a response but the
+	// gateway's response-direction verdict state dropped it on the way
+	// back in (sequence-continuity violation); Response is nil then.
+	ResponseDropped bool
 	// Latency is the virtual one-way + response time charged.
 	Latency time.Duration
 }
@@ -396,9 +407,11 @@ func (n *Network) deliverCore(pkt *ipv4.Packet, skipGateway bool) Delivery {
 	}
 	closed := n.serveOne(cur, &d)
 	// The response traverses the gateway's queue on the way back in
-	// (conntrack reinjection into the same NFQUEUE reader).
+	// (conntrack reinjection into the same NFQUEUE reader), where the
+	// response half of the connection's verdict state is enforced.
 	if d.Delivered && !skipGateway && gw != nil && gw.Active() {
 		n.Clock.Advance(n.Model.NFQueueHopPerPacket)
+		n.checkResponse(gw, pkt, &d)
 		if closed {
 			// Legacy-payload fallback only: a plain-HTTP connection
 			// announced its end via "Connection: close", so tear the
@@ -628,6 +641,11 @@ func (n *Network) deliverBatchCore(pkts []*ipv4.Packet) []Delivery {
 				gw.CloseFlow(pkts[i])
 			}
 		}
+		if out[i].Delivered && out[i].Response != nil {
+			if gw := n.GatewayFor(pkts[i].Header.Src); gw != nil && gw.Active() {
+				n.checkResponse(gw, pkts[i], &out[i])
+			}
+		}
 	}
 	// The responses traverse each involved gateway's queue on the way back
 	// in — one reinjection hop per gateway touched by the burst.
@@ -683,6 +701,96 @@ func (n *Network) partitionByGateway(pkts []*ipv4.Packet) []gwGroup {
 		last = at
 	}
 	return groups
+}
+
+// respKey identifies a connection's server-side sequence state: the
+// forward 5-tuple as the gateway observed it.
+type respKey struct {
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+}
+
+// maxRespTracked bounds the response-sequence map, matching the
+// conntrack's open-table bound; at the cap an arbitrary entry is
+// evicted (the connection's next response is then re-adopted by the
+// gateway's continuity check, which is the self-healing direction).
+const maxRespTracked = 65536
+
+// respISN derives a deterministic initial sequence number for a
+// connection from its forward key — stable across the simulation run so
+// retransmissions of the first response carry the same number.
+func respISN(k respKey) uint32 {
+	s4 := k.src.As4()
+	d4 := k.dst.As4()
+	h := uint64(0x243f6a8885a308d3)
+	for _, b := range s4 {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	for _, b := range d4 {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h = (h ^ uint64(k.srcPort)<<16 ^ uint64(k.dstPort)) * 0x100000001b3
+	return uint32(h>>32) ^ uint32(h)
+}
+
+// checkResponse synthesizes the server's reply as a wire segment on the
+// return path and runs it through the owning gateway's response-direction
+// verdict state. Only transport-era TCP requests have a modelled return
+// path; legacy plain payloads and UDP pass as before. A response the
+// gateway refuses (sequence-continuity violation — in practice only when
+// an injection is simulated) is removed from the delivery.
+func (n *Network) checkResponse(gw *Gateway, fwd *ipv4.Packet, d *Delivery) {
+	if d.Response == nil {
+		return
+	}
+	info, ok := transport.PeekPacket(fwd)
+	if !ok || info.Proto != ipv4.ProtoTCP {
+		return
+	}
+	resp := n.responsePacket(fwd, info, d.Response.Body)
+	if !gw.ProcessResponse(resp) {
+		d.ResponseDropped = true
+		d.Response = nil
+	}
+}
+
+// responsePacket builds the server→device segment carrying a response
+// body, advancing the connection's server-side sequence position.
+func (n *Network) responsePacket(fwd *ipv4.Packet, info transport.Info, body []byte) *ipv4.Packet {
+	k := respKey{
+		src: fwd.Header.Src, dst: fwd.Header.Dst,
+		srcPort: info.SrcPort, dstPort: info.DstPort,
+	}
+	n.respMu.Lock()
+	seq, tracked := n.respSeq[k]
+	if !tracked {
+		if len(n.respSeq) >= maxRespTracked {
+			for victim := range n.respSeq {
+				delete(n.respSeq, victim)
+				break
+			}
+		}
+		seq = respISN(k)
+	}
+	n.respSeq[k] = seq + uint32(len(body))
+	n.respMu.Unlock()
+
+	seg := transport.TCPSegment{
+		SrcPort: info.DstPort,
+		DstPort: info.SrcPort,
+		Seq:     seq,
+		Flags:   transport.FlagPSH | transport.FlagACK,
+		Payload: body,
+	}
+	return &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL:      64,
+			Protocol: ipv4.ProtoTCP,
+			Src:      fwd.Header.Dst,
+			Dst:      fwd.Header.Src,
+		},
+		Payload: seg.Marshal(),
+	}
 }
 
 func (n *Network) captureAt(p CapturePoint, pkt *ipv4.Packet) {

@@ -1,0 +1,71 @@
+package policy
+
+import "borderpatrol/internal/dex"
+
+// HashDecisive is one hash-level rule that fully decides every packet of
+// its app, independent of call stack or flow context — the compilable
+// unit a match-action dataplane stage can serve without decoding the
+// stack. See Engine.HashDecisives for the exact conditions.
+type HashDecisive struct {
+	// Hash is the rule's truncated apk hash target.
+	Hash dex.TruncatedHash
+	// Allow is the rule's action (false = deny).
+	Allow bool
+}
+
+// HashDecisives returns the hash-level rules that are unconditionally
+// decisive under the current rule set: evaluation is minimum-matching-
+// rule-index-wins, so a hash rule decides every packet of its app exactly
+// when no rule with a smaller index could match any stack. Allow rules
+// are additionally excluded while a contextual risk program is loaded
+// (risk runs after an access allow and may tighten it to a drop, which a
+// stackless stage cannot evaluate) and nothing is decisive in degraded
+// mode (the override, not the rules, decides).
+//
+// The returned set is a pure function of the compiled rules, so callers
+// caching it can key the cache on Generation(): any SetRules, degraded
+// transition, or threshold change that could alter the set bumps it.
+func (e *Engine) HashDecisives() []HashDecisive {
+	if _, degraded := e.Degraded(); degraded {
+		return nil
+	}
+	c := e.compiled.Load()
+	if len(c.byHash) == 0 {
+		return nil
+	}
+	// The smallest index any non-hash rule holds: a hash rule below it
+	// wins against every possible stack.
+	minOther := len(c.rules)
+	for _, idx := range c.libPrefix {
+		minOther = min(minOther, idx)
+	}
+	for _, idx := range c.classPrefix {
+		minOther = min(minOther, idx)
+	}
+	for _, sub := range c.classExact {
+		for _, idx := range sub {
+			minOther = min(minOther, idx)
+		}
+	}
+	for _, idx := range c.methodExact {
+		minOther = min(minOther, idx)
+	}
+	for _, idx := range c.methodMerged {
+		minOther = min(minOther, idx)
+	}
+	for i := range c.allows {
+		minOther = min(minOther, c.allows[i].idx)
+	}
+	var out []HashDecisive
+	for h, idx := range c.byHash {
+		if idx >= minOther {
+			continue
+		}
+		allow := c.rules[idx].Action == Allow
+		if allow && c.ctx != nil {
+			continue // risk program may tighten an access allow
+		}
+		out = append(out, HashDecisive{Hash: h, Allow: allow})
+	}
+	return out
+}

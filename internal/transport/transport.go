@@ -209,6 +209,9 @@ type Info struct {
 	SrcPort, DstPort uint16
 	// Flags are the TCP control flags (zero for UDP).
 	Flags byte
+	// Seq is the TCP sequence number (zero for UDP) — the field the
+	// gateway's directional conntrack state runs continuity checks on.
+	Seq uint32
 	// DataOff is where the application payload starts within the IPv4
 	// payload.
 	DataOff int
@@ -237,7 +240,10 @@ func Peek(proto byte, b []byte) (Info, bool) {
 		if sp == 0 || dp == 0 {
 			return Info{}, false
 		}
-		return Info{Proto: proto, SrcPort: sp, DstPort: dp, Flags: flags, DataOff: TCPHeaderLen}, true
+		return Info{
+			Proto: proto, SrcPort: sp, DstPort: dp, Flags: flags,
+			Seq: binary.BigEndian.Uint32(b[4:8]), DataOff: TCPHeaderLen,
+		}, true
 	case ipv4.ProtoUDP:
 		if len(b) < UDPHeaderLen || int(binary.BigEndian.Uint16(b[4:6])) != len(b) {
 			return Info{}, false
